@@ -1,0 +1,3 @@
+"""Benchmark suite: one module per experiment (see DESIGN.md §3) plus
+kernel micro-benchmarks.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""

@@ -1,0 +1,11 @@
+"""Design-choice ablations (A1).
+
+Regenerates the experiment's table (written to benchmarks/results/a1.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_a1(benchmark):
+    run_experiment_benchmark(benchmark, "a1")

@@ -1,0 +1,11 @@
+"""MaxSplit implementation equivalence on full RM-TS runs (A2).
+
+Regenerates the experiment's table (written to benchmarks/results/a2.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_a2(benchmark):
+    run_experiment_benchmark(benchmark, "a2")

@@ -1,0 +1,11 @@
+"""MaxSplit implementations (E10).
+
+Regenerates the experiment's table (written to benchmarks/results/e10.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e10(benchmark):
+    run_experiment_benchmark(benchmark, "e10")

@@ -1,0 +1,11 @@
+"""Overhead robustness of accepted RM-TS partitions (E11).
+
+Regenerates the experiment's table (written to benchmarks/results/e11.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e11(benchmark):
+    run_experiment_benchmark(benchmark, "e11")

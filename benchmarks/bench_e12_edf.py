@@ -1,0 +1,11 @@
+"""Partitioned EDF baselines vs the splitting algorithms (E12).
+
+Regenerates the experiment's table (written to benchmarks/results/e12.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e12(benchmark):
+    run_experiment_benchmark(benchmark, "e12")

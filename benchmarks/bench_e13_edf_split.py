@@ -1,0 +1,11 @@
+"""Semi-partitioned EDF vs semi-partitioned RM (E13).
+
+Regenerates the experiment's table (written to benchmarks/results/e13.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e13(benchmark):
+    run_experiment_benchmark(benchmark, "e13")

@@ -1,0 +1,11 @@
+"""Resource sharing under PCP blocking (E14).
+
+Regenerates the experiment's table (written to benchmarks/results/e14.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e14(benchmark):
+    run_experiment_benchmark(benchmark, "e14")

@@ -1,0 +1,11 @@
+"""Context-switch overhead: RM-TS vs Pfair-style scheduling (E15).
+
+Regenerates the experiment's table (written to benchmarks/results/e15.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e15(benchmark):
+    run_experiment_benchmark(benchmark, "e15")

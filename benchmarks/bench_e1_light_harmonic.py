@@ -1,0 +1,11 @@
+"""Light harmonic task sets reach the 100% bound (E1).
+
+Regenerates the experiment's table (written to benchmarks/results/e1.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e1(benchmark):
+    run_experiment_benchmark(benchmark, "e1")

@@ -1,0 +1,11 @@
+"""Harmonic-chain bound instantiations of RM-TS (E2).
+
+Regenerates the experiment's table (written to benchmarks/results/e2.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e2(benchmark):
+    run_experiment_benchmark(benchmark, "e2")

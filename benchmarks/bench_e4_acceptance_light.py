@@ -1,0 +1,11 @@
+"""Acceptance ratio on light task sets (E4).
+
+Regenerates the experiment's table (written to benchmarks/results/e4.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e4(benchmark):
+    run_experiment_benchmark(benchmark, "e4")

@@ -1,0 +1,11 @@
+"""Average breakdown utilization (E5).
+
+Regenerates the experiment's table (written to benchmarks/results/e5.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e5(benchmark):
+    run_experiment_benchmark(benchmark, "e5")

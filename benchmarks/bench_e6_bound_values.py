@@ -1,0 +1,11 @@
+"""Parametric bound values (E6).
+
+Regenerates the experiment's table (written to benchmarks/results/e6.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e6(benchmark):
+    run_experiment_benchmark(benchmark, "e6")

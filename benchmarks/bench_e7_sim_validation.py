@@ -1,0 +1,11 @@
+"""Simulator cross-validation of Lemma 4 (E7).
+
+Regenerates the experiment's table (written to benchmarks/results/e7.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e7(benchmark):
+    run_experiment_benchmark(benchmark, "e7")

@@ -1,0 +1,11 @@
+"""Dhall effect (E8).
+
+Regenerates the experiment's table (written to benchmarks/results/e8.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e8(benchmark):
+    run_experiment_benchmark(benchmark, "e8")

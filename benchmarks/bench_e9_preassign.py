@@ -1,0 +1,11 @@
+"""RM-TS pre-assignment behaviour (E9).
+
+Regenerates the experiment's table (written to benchmarks/results/e9.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e9(benchmark):
+    run_experiment_benchmark(benchmark, "e9")

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs its experiment driver once (timed), writes
+the rendered report — the paper-style table — to ``benchmarks/results/``,
+and asserts that all paper-claim checks pass.  ``EXPERIMENTS.md`` is the
+curated summary of these outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import get_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, *, seed: int = 0):
+    """Time one quick-mode run of the experiment; persist its report."""
+    report = benchmark.pedantic(
+        lambda: get_experiment(experiment_id).run(quick=True, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(report.render() + "\n")
+    failing = [name for name, ok in report.checks.items() if not ok]
+    assert not failing, f"{experiment_id}: failing claims {failing}"
+    return report

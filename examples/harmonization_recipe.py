@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The harmonization recipe: buy the 100 % bound with period specialization.
+
+The paper's sharpest instantiation needs a *harmonic* task set.  Most
+workloads aren't harmonic — but periods are often negotiable within a few
+percent (control engineers pick round numbers, not sacred ones).  Han &
+Tyan's Sr specialization rounds every period *down* onto a ``b * 2^k``
+grid: the result is harmonic, each deadline only tightens (so the real
+workload can keep its original periods at run time), and the price is a
+small utilization inflation.
+
+Recipe demonstrated here on a near-grid sensor-fusion workload:
+
+1. evaluate the D-PUB menu on the original (non-harmonic) set — the best
+   bound is mediocre;
+2. harmonize; quantify the inflation; re-evaluate — the harmonic-chain
+   bound is now 100 %;
+3. partition the harmonized set with RM-TS/light at a normalized
+   utilization far above the original guarantee and simulate it clean.
+
+Run:  python examples/harmonization_recipe.py
+"""
+
+from repro import (
+    ALL_BOUNDS,
+    TaskSet,
+    best_bound_value,
+    is_light_task_set,
+    partition_rmts_light,
+)
+from repro.core.bounds import SpecializationBound, harmonize_periods
+from repro.core.task import Task
+from repro.sim import simulate_partition
+
+
+def sensor_fusion_workload() -> TaskSet:
+    """Rates chosen by humans: near—but not on—a power-of-two grid."""
+    spec = [
+        ("imu", 2.0, 10.0),
+        ("magnetometer", 2.3, 10.2),
+        ("baro", 4.1, 20.4),
+        ("gps", 4.5, 20.5),
+        ("fusion_fast", 8.6, 40.8),
+        ("fusion_slow", 8.4, 41.0),
+        ("map_update", 17.0, 80.0),
+        ("telemetry", 16.5, 81.6),
+    ]
+    return TaskSet(Task(cost=c, period=t, name=n) for n, c, t in spec)
+
+
+def print_bounds(label: str, taskset: TaskSet) -> None:
+    print(f"{label}: U={taskset.total_utilization:.3f}, "
+          f"harmonic={taskset.is_harmonic()}")
+    for bound in ALL_BOUNDS:
+        print(f"  {bound.name:>9}: {bound.value(taskset):.4f}")
+
+
+def main() -> None:
+    m = 2
+    original = sensor_fusion_workload()
+    print_bounds("original workload", original)
+    print(f"  -> best guarantee on {m} cores: "
+          f"U_M <= {min(best_bound_value(original), 0.83):.3f}\n")
+
+    sr = SpecializationBound().value(original)
+    print(f"Sr bound {sr:.4f} says: specializing periods costs at most "
+          f"{(1 / sr - 1):.1%} utilization.\n")
+
+    harmonized = harmonize_periods(original)
+    inflation = harmonized.total_utilization / original.total_utilization
+    print_bounds("harmonized workload", harmonized)
+    print(f"  actual utilization inflation: {inflation - 1:.2%}")
+    print(f"  light: {is_light_task_set(harmonized)} -> Theorem 8 gives "
+          f"the 100% bound on any number of cores\n")
+
+    u_m = harmonized.normalized_utilization(m)
+    part = partition_rmts_light(harmonized, m)
+    print(f"RM-TS/light on {m} cores at U_M={u_m:.3f}: "
+          f"{'SUCCESS' if part.success else 'FAIL'}")
+    print(part.processor_report())
+    sim = simulate_partition(part, record_trace=True)
+    assert sim.ok and not sim.trace.check_all()
+    print(f"\nsimulated {sim.jobs_completed} jobs: zero misses.  The "
+          "original periods are even easier (they only release less "
+          "often), so the deployed system inherits the guarantee.")
+
+
+if __name__ == "__main__":
+    main()

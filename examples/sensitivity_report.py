@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-margin report: how close to the edge is this partition?
+
+Schedulable is not the same as robust.  Given a partitioned design, this
+example produces the numbers a reviewer would ask for:
+
+* per-processor **critical scaling factor** — the uniform WCET inflation
+  each processor tolerates under exact RTA (1.0 = zero margin);
+* per-task **WCET growth budget** — how much one task's execution time
+  could grow before something misses;
+* the partition's **overhead tolerance** — the per-preemption/migration
+  cost it survives in simulation (the idealized-model sanity check).
+
+Run:  python examples/sensitivity_report.py
+"""
+
+from repro import TaskSet, partition_rmts
+from repro.analysis.sensitivity import (
+    critical_scaling_factor,
+    max_cost_for,
+    overhead_tolerance,
+    partition_scaling_factor,
+)
+from repro.core.rta import response_times
+
+
+def main() -> None:
+    # A deliberately mixed design: one processor will be packed tight by a
+    # split, the other keeps visible slack.
+    taskset = TaskSet.from_pairs(
+        [(2.0, 4.0), (4.0, 8.0), (7.0, 16.0), (12.0, 32.0)]
+    )
+    m = 2
+    part = partition_rmts(taskset, m)
+    assert part.success
+    print(part.processor_report())
+
+    print("\nper-processor margins:")
+    for proc in part.processors:
+        factor = critical_scaling_factor(proc.subtasks, tolerance=1e-5)
+        rta = response_times(proc.subtasks)
+        worst_slack = float(min(rta.slacks))
+        print(f"  P{proc.index}: critical scaling factor {factor:.4f} "
+              f"(tolerates {100 * (factor - 1):+.2f}% WCET growth), "
+              f"min deadline slack {worst_slack:.3f}")
+
+    print("\nper-task WCET growth budgets (all else fixed):")
+    for proc in part.processors:
+        ordered = sorted(proc.subtasks, key=lambda s: s.priority)
+        for i, sub in enumerate(ordered):
+            budget = max_cost_for(ordered, i)
+            print(f"  {sub.label():>16} on P{proc.index}: "
+                  f"C={sub.cost:6.3f} -> max {budget:6.3f} "
+                  f"({budget - sub.cost:+.3f})")
+
+    tol = overhead_tolerance(part, horizon=96.0, max_overhead=2.0,
+                             tolerance=1e-3)
+    print(f"\noverhead tolerance: survives per-preemption/migration costs "
+          f"up to {tol:.3f} time units in simulation")
+    print(f"whole-design critical scaling factor: "
+          f"{partition_scaling_factor(part, tolerance=1e-5):.4f}")
+    print("\nReading: the processor MaxSplit filled to its bottleneck has "
+          "factor ~1.0 — the utilization the paper's algorithm reclaims is "
+          "real, and it is paid for in robustness; re-run with more "
+          "processors if margin is a requirement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of *Parametric Utilization Bounds for Fixed-Priority
+Multiprocessor Scheduling* (Guan, Stigge, Yi, Yu; IPDPS 2012).
+
+Public surface
+--------------
+* :mod:`repro.core` — task model, exact RTA, D-PUB library, the RM-TS and
+  RM-TS/light partitioning algorithms, and baselines (SPA1/SPA2, strict
+  partitioned RM, RM-US);
+* :mod:`repro.sim` — discrete-event multiprocessor simulator with split-task
+  precedence, used to validate partitions at run time;
+* :mod:`repro.taskgen` — random task-set generation (UUniFast,
+  RandFixedSum, harmonic/K-chain period models);
+* :mod:`repro.analysis` — acceptance-ratio and breakdown-utilization
+  experiment machinery;
+* :mod:`repro.experiments` — drivers regenerating every evaluation table
+  (run ``python -m repro.experiments --list``).
+
+Quickstart
+----------
+>>> from repro import TaskSet, partition_rmts, HarmonicChainBound
+>>> ts = TaskSet.from_pairs([(1, 4), (2, 8), (6, 16), (8, 32)])
+>>> result = partition_rmts(ts, processors=2, bound=HarmonicChainBound())
+>>> result.success
+True
+"""
+
+from repro.core import (
+    Task,
+    TaskSet,
+    Subtask,
+    SubtaskKind,
+    response_time,
+    response_times,
+    is_schedulable,
+    ll_bound,
+    light_task_threshold,
+    rmts_bound_cap,
+    harmonic_chain_count,
+    ParametricUtilizationBound,
+    LiuLaylandBound,
+    HarmonicChainBound,
+    TBound,
+    RBound,
+    ConstantBound,
+    best_bound_value,
+    ALL_BOUNDS,
+    PartitionResult,
+    ExactRTAAdmission,
+    ThresholdAdmission,
+    partition_rmts_light,
+    partition_rmts,
+    is_light_task_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Subtask",
+    "SubtaskKind",
+    "response_time",
+    "response_times",
+    "is_schedulable",
+    "ll_bound",
+    "light_task_threshold",
+    "rmts_bound_cap",
+    "harmonic_chain_count",
+    "ParametricUtilizationBound",
+    "LiuLaylandBound",
+    "HarmonicChainBound",
+    "TBound",
+    "RBound",
+    "ConstantBound",
+    "best_bound_value",
+    "ALL_BOUNDS",
+    "PartitionResult",
+    "ExactRTAAdmission",
+    "ThresholdAdmission",
+    "partition_rmts_light",
+    "partition_rmts",
+    "is_light_task_set",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Floating-point comparison helpers with a single shared tolerance policy.
+
+The scheduling algorithms in this package perform arithmetic on task
+parameters (execution times, periods, utilizations) that are generated as
+floats.  Schedulability decisions frequently sit exactly on a boundary
+(e.g. a processor filled up to *exactly* the Liu & Layland bound by
+``MaxSplit``), so raw ``<=`` comparisons would make results depend on the
+last ulp of a summation order.  Every boundary comparison in the package
+goes through the helpers below, which use a combined absolute/relative
+tolerance.
+
+The tolerances are deliberately tight: they only absorb accumulated
+round-off, never modelling error.  The discrete-event simulator uses the
+same policy so that analysis and simulation agree on boundary cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance used throughout the package.
+EPS: float = 1e-9
+
+#: Relative tolerance used throughout the package.
+REL_TOL: float = 1e-9
+
+
+def is_close(a: float, b: float, *, eps: float = EPS, rel: float = REL_TOL) -> bool:
+    """Return ``True`` when *a* and *b* are equal up to the package tolerance."""
+    return abs(a - b) <= max(eps, rel * max(abs(a), abs(b)))
+
+
+def approx_le(a: float, b: float, *, eps: float = EPS, rel: float = REL_TOL) -> bool:
+    """``a <= b`` up to tolerance (boundary counts as satisfied)."""
+    return a <= b or is_close(a, b, eps=eps, rel=rel)
+
+
+def approx_ge(a: float, b: float, *, eps: float = EPS, rel: float = REL_TOL) -> bool:
+    """``a >= b`` up to tolerance (boundary counts as satisfied)."""
+    return a >= b or is_close(a, b, eps=eps, rel=rel)
+
+
+def approx_lt(a: float, b: float, *, eps: float = EPS, rel: float = REL_TOL) -> bool:
+    """``a < b`` strictly beyond tolerance."""
+    return a < b and not is_close(a, b, eps=eps, rel=rel)
+
+
+def approx_gt(a: float, b: float, *, eps: float = EPS, rel: float = REL_TOL) -> bool:
+    """``a > b`` strictly beyond tolerance."""
+    return a > b and not is_close(a, b, eps=eps, rel=rel)
+
+
+def is_integer_multiple(small: float, large: float, *, rel: float = 1e-6) -> bool:
+    """Return ``True`` when *large* is an integer multiple of *small*.
+
+    Used by the harmonic-chain machinery: two periods are *harmonic* when
+    one divides the other.  The check is performed on the ratio with a
+    relative tolerance, so periods produced by floating-point generators
+    (e.g. ``base * 2 ** k``) are classified correctly.
+    """
+    if small <= 0 or large <= 0:
+        raise ValueError("periods must be positive")
+    if large < small:
+        return False
+    ratio = large / small
+    nearest = round(ratio)
+    if nearest == 0:
+        return False
+    return abs(ratio - nearest) <= rel * ratio
+
+
+def safe_ceil(x: float, *, eps: float = EPS) -> int:
+    """Ceiling that forgives values an epsilon above an integer.
+
+    ``ceil(3.0000000001)`` should be 3 in interference computations where
+    the fraction is round-off noise, not a genuine extra job release.
+    """
+    floor = math.floor(x)
+    if x - floor <= eps * max(1.0, abs(x)):
+        return int(floor)
+    return int(math.ceil(x))

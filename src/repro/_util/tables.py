@@ -1,0 +1,81 @@
+"""A tiny text/CSV table used by the experiment harness.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module keeps that output readable and machine-parsable without pulling in
+pandas (not available in the offline environment).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, List, Sequence
+
+
+class Table:
+    """An ordered collection of rows with a fixed header.
+
+    >>> t = Table(["U_M", "RM-TS", "SPA2"])
+    >>> t.add_row([0.7, 1.0, 0.98])
+    >>> print(t.to_text())  # doctest: +SKIP
+    """
+
+    def __init__(self, header: Sequence[str], title: str = "") -> None:
+        if not header:
+            raise ValueError("header must be non-empty")
+        self.title = title
+        self.header: List[str] = list(header)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one row; its length must match the header."""
+        row = list(row)
+        if len(row) != len(self.header):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """Return the column named *name* as a list."""
+        try:
+            idx = self.header.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        cells = [self.header] + [[self._fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.header))]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+        lines.append(sep)
+        for row in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV text (header row first)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.header)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write the table to *path* as CSV."""
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())

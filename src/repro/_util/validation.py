@@ -1,0 +1,45 @@
+"""Small argument-validation helpers used by public constructors.
+
+All helpers raise ``ValueError`` with a message naming the offending
+parameter, so user errors surface at the API boundary instead of deep
+inside a partitioning loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for fluent use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for fluent use."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for fluent use."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> float:
+    """Require ``low <= value <= high`` (either end optional)."""
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    return value

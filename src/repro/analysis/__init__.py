@@ -1,0 +1,58 @@
+"""Experiment machinery: acceptance-ratio sweeps and breakdown search."""
+
+from repro.analysis.acceptance import (
+    AcceptanceTest,
+    acceptance_ratio,
+    acceptance_sweep,
+    SweepResult,
+)
+from repro.analysis.breakdown import (
+    breakdown_utilization,
+    average_breakdown,
+    BreakdownStats,
+)
+from repro.analysis.algorithms import standard_algorithms, rmts_test, rmts_light_test
+from repro.analysis.sensitivity import (
+    critical_scaling_factor,
+    max_cost_for,
+    partition_scaling_factor,
+    overhead_tolerance,
+)
+from repro.analysis.metrics import (
+    weighted_schedulability,
+    utilization_gain,
+    capacity_loss,
+)
+from repro.analysis.minprocs import minimum_processors, compare_minimum_processors
+from repro.analysis.oracle import (
+    oracle_schedulable,
+    differential_audit,
+    AuditResult,
+    random_integer_taskset,
+)
+
+__all__ = [
+    "minimum_processors",
+    "compare_minimum_processors",
+    "oracle_schedulable",
+    "differential_audit",
+    "AuditResult",
+    "random_integer_taskset",
+    "critical_scaling_factor",
+    "max_cost_for",
+    "partition_scaling_factor",
+    "overhead_tolerance",
+    "weighted_schedulability",
+    "utilization_gain",
+    "capacity_loss",
+    "AcceptanceTest",
+    "acceptance_ratio",
+    "acceptance_sweep",
+    "SweepResult",
+    "breakdown_utilization",
+    "average_breakdown",
+    "BreakdownStats",
+    "standard_algorithms",
+    "rmts_test",
+    "rmts_light_test",
+]

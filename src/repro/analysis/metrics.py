@@ -1,0 +1,63 @@
+"""Aggregate schedulability metrics.
+
+* :func:`weighted_schedulability` — the standard scalar summary of an
+  acceptance curve: acceptance weighted by utilization, so performance at
+  high load counts for more (Bastoni et al.'s weighted schedulability
+  measure, adapted to normalized utilization grids);
+* :func:`utilization_gain` — how much more utilization one algorithm
+  sustains than another at a given acceptance level;
+* :func:`capacity_loss` — per-processor capacity an algorithm provably
+  wastes relative to 100 %.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.acceptance import SweepResult
+
+__all__ = ["weighted_schedulability", "utilization_gain", "capacity_loss"]
+
+
+def weighted_schedulability(sweep: SweepResult, name: str) -> float:
+    """``sum_u u * accept(u) / sum_u u`` over the sweep grid.
+
+    Ranges in [0, 1]; 1.0 means full acceptance everywhere, and high-load
+    points dominate the score.
+    """
+    u = np.asarray(sweep.u_grid, dtype=float)
+    a = np.asarray(sweep.curves[name], dtype=float)
+    denom = float(u.sum())
+    if denom <= 0:
+        raise ValueError("utilization grid must contain positive values")
+    return float((u * a).sum() / denom)
+
+
+def utilization_gain(
+    sweep: SweepResult, better: str, worse: str, *, level: float = 0.5
+) -> Optional[float]:
+    """Difference of the two algorithms' *level*-crossover utilizations.
+
+    E.g. with ``level=0.5``: how much further (in normalized utilization)
+    *better* sustains a 50 % acceptance ratio.  ``None`` when either curve
+    never drops below *level* inside the grid (gain unbounded on the
+    grid) — callers typically report ">= grid span" then.
+    """
+    cross_better = sweep.crossover(better, level=level)
+    cross_worse = sweep.crossover(worse, level=level)
+    if cross_better is None or cross_worse is None:
+        return None
+    return cross_better - cross_worse
+
+
+def capacity_loss(threshold: float) -> float:
+    """Per-processor capacity a threshold-admission scheme gives up.
+
+    For SPA1/SPA2 with threshold ``Theta(N)`` this is ``1 - Theta(N)``
+    (≈ 30 % as N grows) — the headroom exact-RTA admission recovers.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must lie in (0, 1]")
+    return 1.0 - threshold

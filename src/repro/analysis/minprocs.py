@@ -1,0 +1,74 @@
+"""Processor-count minimization — the design-space-exploration primitive.
+
+Given an acceptance test and a workload, find the smallest platform that
+schedules it.  Acceptance is monotone in M for every algorithm in this
+package (more processors never hurt: the extra processors simply receive
+no work — verified by a property test), so galloping + binary search is
+exact and needs O(log M*) algorithm runs instead of M*.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro._util.tables import Table
+from repro.analysis.acceptance import AcceptanceTest
+from repro.core.task import TaskSet
+
+__all__ = ["minimum_processors", "compare_minimum_processors"]
+
+
+def minimum_processors(
+    test: AcceptanceTest,
+    taskset: TaskSet,
+    *,
+    max_processors: int = 1024,
+) -> Optional[int]:
+    """Smallest M with ``test(taskset, M)`` true, or None up to the cap.
+
+    Starts the search at the utilization lower bound ``ceil(U(tau))`` —
+    no algorithm can succeed below it — then gallops upward and bisects.
+    """
+    if max_processors < 1:
+        raise ValueError("max_processors must be >= 1")
+    lower = max(1, int(-(-taskset.total_utilization // 1)))
+    if lower > max_processors:
+        return None
+
+    # Gallop to find a feasible upper end.
+    m = lower
+    feasible: Optional[int] = None
+    while True:
+        if test(taskset, m):
+            feasible = m
+            break
+        if m >= max_processors:
+            return None
+        m = min(2 * m, max_processors)
+
+    lo, hi = lower, feasible
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if test(taskset, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def compare_minimum_processors(
+    algorithms: Mapping[str, AcceptanceTest],
+    taskset: TaskSet,
+    *,
+    max_processors: int = 256,
+) -> Table:
+    """Minimum core counts per algorithm, as a printable table."""
+    table = Table(
+        ["algorithm", "min processors"],
+        title=f"minimum processors for U={taskset.total_utilization:.3f}, "
+        f"N={len(taskset)}",
+    )
+    for name, test in algorithms.items():
+        m = minimum_processors(test, taskset, max_processors=max_processors)
+        table.add_row([name, m if m is not None else f">{max_processors}"])
+    return table

@@ -1,0 +1,260 @@
+"""Command-line interface: partition, analyze and simulate task sets.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro partition tasks.json --processors 4 --algorithm rmts
+    python -m repro bounds tasks.json
+    python -m repro simulate tasks.json --processors 4 --overhead 0.01
+    python -m repro generate --n 12 --u-norm 0.8 --processors 4 -o tasks.json
+
+Task files are JSON: either a list of ``{"cost": C, "period": T}`` objects
+or a list of ``[C, T]`` pairs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.bounds import (
+    ALL_BOUNDS,
+    HarmonicChainBound,
+    LiuLaylandBound,
+    RBound,
+    TBound,
+    best_bound_value,
+    harmonic_chain_count,
+    light_task_threshold,
+    ll_bound,
+)
+from repro.core.baselines import (
+    partition_no_split,
+    partition_spa1,
+    partition_spa2,
+)
+from repro.core.baselines.edf import partition_edf
+from repro.core.baselines.edf_split import partition_edf_split
+from repro.core.rmts import partition_rmts
+from repro.core.rmts_light import is_light_task_set, partition_rmts_light
+from repro.core.serialization import load_partition, save_partition
+from repro.core.task import Task, TaskSet
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+from repro.taskgen.workloads import build_workload, preset_names
+
+#: Algorithm registry for the CLI.
+ALGORITHMS = {
+    "rmts": lambda ts, m: partition_rmts(ts, m),
+    "rmts-star": lambda ts, m: partition_rmts(ts, m, dedicate_over_bound=False),
+    "rmts-light": lambda ts, m: partition_rmts_light(ts, m),
+    "spa1": partition_spa1,
+    "spa2": partition_spa2,
+    "p-rm": lambda ts, m: partition_no_split(ts, m),
+    "p-edf": lambda ts, m: partition_edf(ts, m),
+    "edf-ws": lambda ts, m: partition_edf_split(ts, m),
+}
+
+BOUNDS = {
+    "ll": LiuLaylandBound,
+    "hc": HarmonicChainBound,
+    "t": TBound,
+    "r": RBound,
+}
+
+
+def load_taskset(path: str) -> TaskSet:
+    """Read a task set from a JSON file (dicts or [C, T] pairs)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list) or not data:
+        raise ValueError(f"{path}: expected a non-empty JSON list")
+    tasks: List[Task] = []
+    for row in data:
+        if isinstance(row, dict):
+            tasks.append(
+                Task(
+                    cost=float(row["cost"]),
+                    period=float(row["period"]),
+                    name=str(row.get("name", "")),
+                )
+            )
+        else:
+            cost, period = row
+            tasks.append(Task(cost=float(cost), period=float(period)))
+    return TaskSet(tasks)
+
+
+def cmd_bounds(args) -> int:
+    ts = load_taskset(args.taskfile)
+    n = len(ts)
+    print(f"N={n}, U={ts.total_utilization:.4f}, "
+          f"max U_i={ts.max_utilization:.4f}, "
+          f"harmonic chains K={harmonic_chain_count([t.period for t in ts])}")
+    print(f"light task set (all U_i <= {light_task_threshold(n):.4f}): "
+          f"{is_light_task_set(ts)}")
+    for bound in ALL_BOUNDS:
+        print(f"  {bound.name:>8}: {bound.value(ts):.4f} "
+              f"(capped for RM-TS: {bound.capped_value(ts):.4f})")
+    print(f"  best D-PUB: {best_bound_value(ts):.4f}")
+    if args.processors:
+        u_norm = ts.normalized_utilization(args.processors)
+        lam = min(best_bound_value(ts), 2 * ll_bound(n) / (1 + ll_bound(n)))
+        verdict = "GUARANTEED schedulable" if u_norm <= lam else "not covered"
+        print(f"on M={args.processors}: U_M={u_norm:.4f} vs bound "
+              f"{lam:.4f} -> {verdict} by the RM-TS bound")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    ts = load_taskset(args.taskfile)
+    algo = ALGORITHMS[args.algorithm]
+    result = algo(ts, args.processors)
+    print(result.processor_report())
+    errors = result.validate() if result.success else []
+    if errors:
+        print("VALIDATION ERRORS:")
+        for e in errors:
+            print(f"  {e}")
+        return 2
+    if args.save:
+        save_partition(result, args.save)
+        print(f"partition saved to {args.save}")
+    return 0 if result.success else 1
+
+
+def cmd_simulate(args) -> int:
+    if args.partition_file:
+        result = load_partition(args.partition_file)
+    else:
+        if not args.taskfile or not args.processors:
+            raise ValueError(
+                "simulate needs either --partition-file or a task file "
+                "plus --processors"
+            )
+        ts = load_taskset(args.taskfile)
+        algo = ALGORITHMS[args.algorithm]
+        result = algo(ts, args.processors)
+    if not result.success:
+        print(f"partitioning failed (unassigned: {result.unassigned_tids})")
+        return 1
+    sim = simulate_partition(
+        result,
+        horizon=args.horizon,
+        record_trace=args.gantt,
+        preemption_overhead=args.overhead,
+        migration_overhead=args.overhead,
+    )
+    print(f"horizon {sim.horizon:g}: {sim.jobs_completed} jobs, "
+          f"{len(sim.misses)} deadline misses")
+    for miss in sim.misses[:10]:
+        print(f"  MISS tau{miss.tid} job {miss.job_index} "
+              f"(deadline {miss.deadline:g})")
+    if args.gantt and sim.trace is not None:
+        until = args.horizon or min(sim.horizon, 100.0)
+        print(sim.trace.gantt_text(until=until))
+    return 0 if sim.ok else 1
+
+
+def cmd_generate(args) -> int:
+    if args.preset:
+        ts = build_workload(
+            args.preset,
+            u_norm=args.u_norm,
+            processors=args.processors,
+            seed=args.seed,
+        )
+    else:
+        gen = TaskSetGenerator(n=args.n, period_model=args.periods, k=args.k)
+        if args.light:
+            gen = gen.light()
+        ts = gen.generate(
+            u_norm=args.u_norm, processors=args.processors, seed=args.seed
+        )
+    payload = ts.to_dicts()
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(ts)} tasks (U={ts.total_utilization:.3f}) "
+              f"to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parametric-utilization-bound multiprocessor scheduling "
+        "toolkit (IPDPS 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bounds = sub.add_parser("bounds", help="evaluate D-PUBs for a task set")
+    p_bounds.add_argument("taskfile")
+    p_bounds.add_argument("--processors", "-m", type=int, default=0)
+    p_bounds.set_defaults(func=cmd_bounds)
+
+    p_part = sub.add_parser("partition", help="partition a task set")
+    p_part.add_argument("taskfile")
+    p_part.add_argument("--processors", "-m", type=int, required=True)
+    p_part.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHMS), default="rmts"
+    )
+    p_part.add_argument("--save", default=None,
+                        help="write the partition to this JSON file")
+    p_part.set_defaults(func=cmd_partition)
+
+    p_sim = sub.add_parser("simulate", help="partition then simulate")
+    p_sim.add_argument("taskfile", nargs="?", default=None)
+    p_sim.add_argument("--processors", "-m", type=int, default=0)
+    p_sim.add_argument("--partition-file", default=None,
+                       help="simulate a saved partition instead of "
+                       "partitioning taskfile")
+    p_sim.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHMS), default="rmts"
+    )
+    p_sim.add_argument("--horizon", type=float, default=None)
+    p_sim.add_argument("--overhead", type=float, default=0.0,
+                       help="per-preemption/migration overhead")
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="print an ASCII schedule")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_gen = sub.add_parser("generate", help="generate a random task set")
+    p_gen.add_argument("--n", type=int, default=12)
+    p_gen.add_argument("--u-norm", type=float, default=0.7)
+    p_gen.add_argument("--processors", "-m", type=int, default=4)
+    p_gen.add_argument(
+        "--periods",
+        choices=["loguniform", "uniform", "discrete", "harmonic", "kchain"],
+        default="loguniform",
+    )
+    p_gen.add_argument("--k", type=int, default=2)
+    p_gen.add_argument("--light", action="store_true")
+    p_gen.add_argument(
+        "--preset",
+        choices=preset_names(),
+        default=None,
+        help="use a named realistic workload instead of random generation",
+    )
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", "-o", default=None)
+    p_gen.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Baseline multiprocessor scheduling algorithms the paper compares against.
+
+* :mod:`repro.core.baselines.spa` — SPA1/SPA2 of [16], the prior
+  semi-partitioned algorithms achieving the Liu & Layland bound via
+  utilization-threshold admission (the paper's main comparator);
+* :mod:`repro.core.baselines.partitioned` — strict partitioned RM
+  (first/worst/best-fit, no splitting), capped at 50 % in the worst case;
+* :mod:`repro.core.baselines.global_rm` — global RM / RM-US utilization
+  tests and the Dhall-effect construction.
+"""
+
+from repro.core.baselines.spa import partition_spa1, partition_spa2
+from repro.core.baselines.partitioned import partition_no_split, FitHeuristic
+from repro.core.baselines.edf import (
+    partition_edf,
+    edf_schedulable,
+    demand_bound_function,
+)
+from repro.core.baselines.edf_split import partition_edf_split, max_edf_piece_cost
+from repro.core.baselines.global_rm import (
+    rm_us_utilization_bound,
+    rm_us_schedulable,
+    dhall_taskset,
+)
+
+__all__ = [
+    "partition_spa1",
+    "partition_spa2",
+    "partition_no_split",
+    "FitHeuristic",
+    "partition_edf",
+    "edf_schedulable",
+    "demand_bound_function",
+    "partition_edf_split",
+    "max_edf_piece_cost",
+    "rm_us_utilization_bound",
+    "rm_us_schedulable",
+    "dhall_taskset",
+]

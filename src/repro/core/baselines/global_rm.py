@@ -1,0 +1,93 @@
+"""Global fixed-priority scheduling baselines: RM-US and the Dhall effect.
+
+The paper's related-work section (Section I) motivates semi-partitioned
+scheduling by the weaknesses of the alternatives:
+
+* plain global RM suffers the **Dhall effect** [14]: task sets of
+  arbitrarily low utilization can be unschedulable (:func:`dhall_taskset`
+  constructs the canonical witness, which experiment E8 simulates);
+* the repaired variant **RM-US** [4] (heavy tasks get top priority) still
+  only guarantees about 38 % — far below the bounds RM-TS achieves.
+
+This module provides the standard RM-US[zeta] utilization test of
+Andersson, Baruah & Jonsson: with ``zeta = M / (3M - 2)``, any task set
+with ``U(tau) <= M^2 / (3M - 2)`` is schedulable by global RM-US on ``M``
+processors (normalized bound ``M/(3M-2) -> 1/3``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._util.floats import EPS
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "rm_us_priority_order",
+    "rm_us_utilization_bound",
+    "rm_us_schedulable",
+    "dhall_taskset",
+]
+
+
+def rm_us_threshold(processors: int) -> float:
+    """The RM-US heavy-task cutoff ``zeta = M / (3M - 2)``."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return processors / (3.0 * processors - 2.0)
+
+
+def rm_us_utilization_bound(processors: int) -> float:
+    """Total-utilization bound of RM-US: ``M^2 / (3M - 2)``.
+
+    Normalized (divided by M) this tends to 1/3; even the best known
+    global fixed-priority tests stay near 38 % — the comparison point the
+    paper quotes.
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return processors * processors / (3.0 * processors - 2.0)
+
+
+def rm_us_schedulable(taskset: TaskSet, processors: int) -> bool:
+    """Andersson-Baruah-Jonsson sufficient test for global RM-US.
+
+    True when ``U(tau) <= M^2 / (3M - 2)``.
+    """
+    return taskset.total_utilization <= rm_us_utilization_bound(processors) + EPS
+
+
+def rm_us_priority_order(taskset: TaskSet, processors: int) -> List[int]:
+    """Global RM-US priority order as a list of tids, highest first.
+
+    Tasks with ``U_i > zeta`` get the highest priorities (ties by period);
+    the rest follow in RM order.  Used by the global simulation engine in
+    experiment E8.
+    """
+    zeta = rm_us_threshold(processors)
+    heavy = [t for t in taskset if t.utilization > zeta + EPS]
+    light = [t for t in taskset if t.utilization <= zeta + EPS]
+    heavy.sort(key=lambda t: (t.period, t.tid))
+    light.sort(key=lambda t: (t.period, t.tid))
+    return [t.tid for t in heavy + light]
+
+
+def dhall_taskset(processors: int, epsilon: float = 0.01) -> TaskSet:
+    """The canonical Dhall-effect witness for ``M`` processors.
+
+    ``M`` short tasks ``<2 epsilon, 1>`` plus one long task
+    ``<1, 1 + epsilon>``.  Under plain global RM the short tasks occupy all
+    processors at time 0 and the long task misses its deadline, yet the
+    total utilization ``2 M epsilon + 1/(1+epsilon)`` tends to 1 (i.e.
+    normalized utilization ``-> 1/M``) as ``epsilon -> 0``.
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if not 0.0 < epsilon < 0.5:
+        raise ValueError("epsilon must lie in (0, 0.5)")
+    tasks: List[Task] = [
+        Task(cost=2.0 * epsilon, period=1.0, name=f"short{q}")
+        for q in range(processors)
+    ]
+    tasks.append(Task(cost=1.0, period=1.0 + epsilon, name="long"))
+    return TaskSet(tasks)

@@ -1,0 +1,68 @@
+"""SPA1 / SPA2 — the semi-partitioned algorithms of [16].
+
+Reference [16] ("Fixed-Priority Multiprocessor Scheduling with Liu &
+Layland's Utilization Bound", Guan et al.) is the direct predecessor the
+paper improves upon.  Its two algorithms share the structure of
+RM-TS/light and RM-TS, but admit workload onto a processor by a
+**utilization threshold** — the L&L bound ``Theta(N)`` of the whole task
+set — instead of exact RTA:
+
+* **SPA1**: worst-fit, increasing-priority-order assignment with splitting;
+  a processor accepts workload until its utilization reaches ``Theta(N)``.
+  Achieves the L&L bound for light task sets.
+* **SPA2**: adds pre-assignment of heavy tasks satisfying the condition
+  ``sum_{j>i} U_j <= (|P(tau_i)| - 1) * Theta(N)``.  Achieves the L&L bound
+  for any task set.
+
+Because admission is the worst-case threshold itself, SPA1/SPA2 *never*
+utilize more than ``Theta(N)`` per processor — exactly the average-case
+weakness the paper's RTA-based admission removes (Section I).  These
+implementations reuse the RM-TS skeletons with
+:class:`~repro.core.admission.ThresholdAdmission`, which keeps the
+comparison honest: the only difference between baseline and new algorithm
+is the admission rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import ThresholdAdmission
+from repro.core.bounds import ll_bound
+from repro.core.partition import PartitionResult
+from repro.core.rmts import partition_rmts
+from repro.core.rmts_light import partition_rmts_light
+from repro.core.task import TaskSet
+
+__all__ = ["partition_spa1", "partition_spa2"]
+
+
+def partition_spa1(taskset: TaskSet, processors: int) -> PartitionResult:
+    """SPA1 of [16]: RM-TS/light structure, L&L-threshold admission.
+
+    Worst-case utilization bound ``Theta(N)`` for light task sets; by
+    construction no processor is ever filled beyond ``Theta(N)``.
+    """
+    threshold = ll_bound(len(taskset)) if len(taskset) else 1.0
+    return partition_rmts_light(
+        taskset,
+        processors,
+        policy=ThresholdAdmission(threshold),
+        algorithm_name="SPA1",
+    )
+
+
+def partition_spa2(taskset: TaskSet, processors: int) -> PartitionResult:
+    """SPA2 of [16]: RM-TS structure, L&L-threshold admission.
+
+    Pre-assigns heavy tasks using ``Lambda = Theta(N)`` in the pre-assign
+    condition, then proceeds with threshold admission.  Worst-case
+    utilization bound ``Theta(N)`` for arbitrary task sets.
+    """
+    threshold = ll_bound(len(taskset)) if len(taskset) else 1.0
+    return partition_rmts(
+        taskset,
+        processors,
+        bound=threshold,
+        policy=ThresholdAdmission(threshold),
+        cap_bound=False,
+        algorithm_name="SPA2",
+    )

@@ -1,0 +1,393 @@
+"""Parametric utilization bounds (PUBs) for uniprocessor RMS.
+
+Section III of the paper lists the bounds generalized to multiprocessors by
+``RM-TS/light`` and ``RM-TS``:
+
+* the Liu & Layland bound ``Theta(N) = N (2^{1/N} - 1)``,
+* the harmonic-chain bound ``K (2^{1/K} - 1)`` of Kuo & Mok, where *K* is
+  the number of harmonic chains (the 100 % bound for harmonic task sets is
+  the ``K = 1`` special case),
+* the T-Bound and R-Bound of Lauzac, Melhem & Mossé, based on *scaled
+  periods*.
+
+All of these are **deflatable** (Lemma 1): the value computed from the
+original task set's parameters remains a valid bound for any task set
+obtained by decreasing execution times — the property required for
+partitioned scheduling, where each processor sees a cost-deflated subset.
+Every bound here depends only on periods and the task count, which makes
+deflatability immediate; the test suite verifies it empirically against
+exact RTA.
+
+The minimum number of harmonic chains is computed exactly as a minimum
+chain cover of the period divisibility order via Dilworth's theorem
+(maximum bipartite matching on the transitively-closed relation).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro._util.floats import EPS, is_integer_multiple
+from repro.core.task import TaskSet
+
+__all__ = [
+    "ll_bound",
+    "light_task_threshold",
+    "rmts_bound_cap",
+    "scaled_periods",
+    "harmonic_chain_count",
+    "harmonic_chains",
+    "ParametricUtilizationBound",
+    "LiuLaylandBound",
+    "HarmonicChainBound",
+    "TBound",
+    "RBound",
+    "ConstantBound",
+    "SpecializationBound",
+    "harmonize_periods",
+    "best_bound_value",
+    "ALL_BOUNDS",
+]
+
+
+def ll_bound(n: int) -> float:
+    """Liu & Layland bound ``Theta(N) = N (2^{1/N} - 1)``.
+
+    Monotonically decreasing in *N*, approaching ``ln 2 ~= 0.6931``.
+    ``Theta(0)`` is defined as 1.0 (an empty set is trivially schedulable)
+    and ``Theta(1) = 1``.
+    """
+    if n < 0:
+        raise ValueError("task count must be non-negative")
+    if n == 0:
+        return 1.0
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def light_task_threshold(n: int) -> float:
+    """``Theta / (1 + Theta)`` — the light-task cutoff of Definition 1.
+
+    Approaches ``ln 2 / (1 + ln 2) ~= 40.9 %`` as ``N -> inf``.
+    """
+    theta = ll_bound(n)
+    return theta / (1.0 + theta)
+
+
+def rmts_bound_cap(n: int) -> float:
+    """``2 Theta / (1 + Theta)`` — the cap on D-PUBs usable by RM-TS.
+
+    Approaches ``2 ln 2 / (1 + ln 2) ~= 81.8 %`` as ``N -> inf``
+    (Section V: RM-TS achieves ``min(Lambda(tau), 2Theta/(1+Theta))``).
+    """
+    theta = ll_bound(n)
+    return 2.0 * theta / (1.0 + theta)
+
+
+# ---------------------------------------------------------------------------
+# Scaled periods (Lauzac, Melhem & Mossé) and harmonic chain analysis
+# ---------------------------------------------------------------------------
+
+
+def scaled_periods(periods: Sequence[float]) -> np.ndarray:
+    """Scaled periods ``T'_i = T_i * 2^{floor(log2(T_max / T_i))}``.
+
+    Every scaled period lands in ``(T_max / 2, T_max]``; for a harmonic set
+    whose period ratios are powers of two, all scaled periods coincide.
+    Returned sorted ascending (the order the T-Bound formula expects).
+    """
+    ps = np.asarray(periods, dtype=float)
+    if ps.size == 0:
+        return ps
+    if np.any(ps <= 0):
+        raise ValueError("periods must be positive")
+    tmax = ps.max()
+    exponents = np.floor(np.log2(tmax / ps) + EPS)
+    scaled = ps * np.exp2(exponents)
+    return np.sort(scaled)
+
+
+def harmonic_chains(
+    periods: Sequence[float], *, rel: float = 1e-6
+) -> List[List[int]]:
+    """Partition task indices into a *minimum* number of harmonic chains.
+
+    A chain is a set of periods that pairwise divide one another.  The
+    minimum chain cover of the divisibility partial order is computed via
+    Dilworth's theorem: it equals ``N - |maximum matching|`` on the
+    bipartite graph of the (transitively closed) divisibility relation.
+    Divisibility is transitive, so sorting by period and linking every
+    comparable pair already yields the closure.
+
+    Returns a list of chains, each a list of indices into *periods*.
+    """
+    ps = list(periods)
+    n = len(ps)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: ps[i])
+    graph = nx.Graph()
+    left = [("L", i) for i in range(n)]
+    right = [("R", i) for i in range(n)]
+    graph.add_nodes_from(left, bipartite=0)
+    graph.add_nodes_from(right, bipartite=1)
+    for a in range(n):
+        for b in range(a + 1, n):
+            i, j = order[a], order[b]
+            if is_integer_multiple(ps[i], ps[j], rel=rel):
+                graph.add_edge(("L", a), ("R", b))
+    matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=left)
+    # Follow successor links to reconstruct the chains.
+    succ = {}
+    for node, mate in matching.items():
+        if node[0] == "L":
+            succ[node[1]] = mate[1]
+    has_pred = set(succ.values())
+    chains: List[List[int]] = []
+    for start in range(n):
+        if start in has_pred:
+            continue
+        chain = [order[start]]
+        cur = start
+        while cur in succ:
+            cur = succ[cur]
+            chain.append(order[cur])
+        chains.append(chain)
+    return chains
+
+
+def harmonic_chain_count(periods: Sequence[float], *, rel: float = 1e-6) -> int:
+    """Minimum number of harmonic chains covering *periods* (``K``)."""
+    return max(1, len(harmonic_chains(periods, rel=rel))) if len(periods) else 0
+
+
+# ---------------------------------------------------------------------------
+# Bound objects
+# ---------------------------------------------------------------------------
+
+
+class ParametricUtilizationBound(ABC):
+    """A deflatable parametric utilization bound ``Lambda(tau)``.
+
+    ``value(taskset)`` applies the bound function to the task set's
+    parameters; the result is a utilization threshold valid for uniprocessor
+    RMS on the set *and on any cost-deflation of it* (Lemma 1).  The
+    multiprocessor algorithms use the value as a per-processor threshold in
+    their guarantees and (for RM-TS) in the pre-assignment condition.
+    """
+
+    #: Short identifier used in tables and experiment output.
+    name: str = "PUB"
+
+    @abstractmethod
+    def value(self, taskset: TaskSet) -> float:
+        """The bound ``Lambda(tau)`` computed from *taskset*'s parameters."""
+
+    def capped_value(self, taskset: TaskSet) -> float:
+        """``min(Lambda(tau), 2 Theta/(1+Theta))`` — what RM-TS can achieve."""
+        return min(self.value(taskset), rmts_bound_cap(len(taskset)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class LiuLaylandBound(ParametricUtilizationBound):
+    """``Theta(N) = N (2^{1/N} - 1)`` — the baseline D-PUB."""
+
+    name = "L&L"
+
+    def value(self, taskset: TaskSet) -> float:
+        return ll_bound(len(taskset))
+
+
+class HarmonicChainBound(ParametricUtilizationBound):
+    """Kuo & Mok's ``K (2^{1/K} - 1)`` with *K* = number of harmonic chains.
+
+    ``K = 1`` (fully harmonic) gives the 100 % bound the paper's first
+    instantiation uses.
+    """
+
+    name = "HC"
+
+    def __init__(self, *, rel: float = 1e-6) -> None:
+        self._rel = rel
+
+    def value(self, taskset: TaskSet) -> float:
+        if len(taskset) == 0:
+            return 1.0
+        k = harmonic_chain_count([t.period for t in taskset], rel=self._rel)
+        return ll_bound(k)
+
+
+class TBound(ParametricUtilizationBound):
+    """Lauzac et al.'s period-aware bound on scaled periods.
+
+    ``T-Bound = sum_{i<N} T'_{i+1}/T'_i + 2 T'_1/T'_N - N`` with ``T'``
+    the sorted scaled periods.  Equals 1 when all scaled periods coincide
+    (power-of-two harmonic sets) and never falls below ``Theta(N)``.
+    """
+
+    name = "T-Bound"
+
+    def value(self, taskset: TaskSet) -> float:
+        n = len(taskset)
+        if n == 0:
+            return 1.0
+        sp = scaled_periods([t.period for t in taskset])
+        ratio_sum = float((sp[1:] / sp[:-1]).sum())
+        return ratio_sum + 2.0 * float(sp[0] / sp[-1]) - n
+
+
+class RBound(ParametricUtilizationBound):
+    """Lauzac et al.'s bound using only the scaled-period spread ``r``.
+
+    ``R-Bound = (N-1)(r^{1/(N-1)} - 1) + 2/r - 1`` with
+    ``r = T'_max / T'_min`` in ``[1, 2)`` (scaled periods all lie within a
+    factor-two band).  Sanity anchors: ``r = 1`` (power-of-two harmonic)
+    gives 1.0; ``r -> 2`` degrades to the L&L bound of ``N - 1`` tasks.
+    More abstract (hence never larger) than the T-Bound.
+    """
+
+    name = "R-Bound"
+
+    def value(self, taskset: TaskSet) -> float:
+        n = len(taskset)
+        if n == 0:
+            return 1.0
+        sp = scaled_periods([t.period for t in taskset])
+        r = float(sp[-1] / sp[0])
+        if n == 1:
+            return 2.0 / r - 1.0
+        return (n - 1) * (r ** (1.0 / (n - 1)) - 1.0) + 2.0 / r - 1.0
+
+
+class SpecializationBound(ParametricUtilizationBound):
+    """Han & Tyan's Sr/DCT bound: specialize periods onto a ``b * 2^k``
+    grid and exploit the 100 % harmonic bound.
+
+    For a base ``b``, each period is rounded *down* to
+    ``T'_i = b * 2^{floor(log2(T_i / b))}`` — the transformed set is
+    harmonic, shortening a period only inflates demand, so schedulability
+    of the transformed set implies schedulability of the original.  The
+    per-task inflation is ``f_i = T_i / T'_i in [1, 2)``, and
+
+        ``U(tau) <= 1 / max_i f_i(b)``
+
+    guarantees the transformed utilization stays at most 1.  The bound
+    maximizes over every task period as the candidate base (the classic
+    Sr sweep).  Anchors: harmonic power-of-two sets give 1.0; the value
+    always lies in ``(1/2, 1]``; like every bound here it reads only
+    periods, hence is deflatable.
+    """
+
+    name = "Sr-Bound"
+
+    def value(self, taskset: TaskSet) -> float:
+        n = len(taskset)
+        if n == 0:
+            return 1.0
+        periods = np.array([t.period for t in taskset], dtype=float)
+        best = 0.0
+        for base in np.unique(periods):
+            # grid value just below or at each period; periods smaller
+            # than the base use negative exponents (grid extends down).
+            exponents = np.floor(np.log2(periods / base) + EPS)
+            grid = base * np.exp2(exponents)
+            inflation = periods / grid
+            best = max(best, 1.0 / float(inflation.max()))
+        return min(best, 1.0)
+
+
+def harmonize_periods(taskset: TaskSet, base: Optional[float] = None) -> TaskSet:
+    """Han-Tyan period specialization: the harmonic task set obtained by
+    rounding every period down to the ``base * 2^k`` grid.
+
+    With no *base* given, the base maximizing the Sr bound (minimizing the
+    worst inflation) is chosen.  The result is harmonic (single chain),
+    has pointwise ``T'_i <= T_i`` and the same costs, so its
+    schedulability implies the original's — and it qualifies for the
+    paper's 100 % multiprocessor bound when light (E1).  Raises
+    ``ValueError`` if any cost no longer fits its shortened period.
+    """
+    if len(taskset) == 0:
+        return taskset
+    periods = np.array([t.period for t in taskset], dtype=float)
+    if base is None:
+        best_base, best_worst = None, float("inf")
+        for candidate in np.unique(periods):
+            exponents = np.floor(np.log2(periods / candidate) + EPS)
+            grid = candidate * np.exp2(exponents)
+            worst = float((periods / grid).max())
+            if worst < best_worst:
+                best_base, best_worst = float(candidate), worst
+        base = best_base
+    if base <= 0:
+        raise ValueError("base period must be positive")
+    exponents = np.floor(np.log2(periods / base) + EPS)
+    grid = base * np.exp2(exponents)
+    from repro.core.task import Task
+
+    return TaskSet(
+        Task(cost=t.cost, period=float(p), name=t.name)
+        for t, p in zip(taskset, grid)
+    )
+
+
+class ConstantBound(ParametricUtilizationBound):
+    """A fixed threshold, e.g. the 100 % bound for known-harmonic systems.
+
+    Useful to instantiate the paper's examples directly and as an ablation
+    (feeding RM-TS a bound above the cap exercises the ``min(...)``).
+    """
+
+    name = "const"
+
+    def __init__(self, value: float, name: str = "const") -> None:
+        if not 0.0 < value <= 1.0 + EPS:
+            raise ValueError("constant bound must lie in (0, 1]")
+        self._value = float(value)
+        self.name = name
+
+    def value(self, taskset: TaskSet) -> float:
+        return self._value
+
+
+#: The bound menu evaluated by experiment E6.
+ALL_BOUNDS: List[ParametricUtilizationBound] = [
+    LiuLaylandBound(),
+    HarmonicChainBound(),
+    TBound(),
+    RBound(),
+    SpecializationBound(),
+]
+
+
+def best_bound_value(taskset: TaskSet, bounds: Iterable[ParametricUtilizationBound] = None) -> float:
+    """The largest applicable D-PUB value for *taskset*.
+
+    Any maximum of valid utilization bounds is itself a valid bound, so a
+    designer would always pick the best available one; experiment drivers
+    use this as the default ``Lambda(tau)``.
+    """
+    menu = list(bounds) if bounds is not None else ALL_BOUNDS
+    if not menu:
+        raise ValueError("need at least one bound")
+    return max(b.value(taskset) for b in menu)
+
+
+def theoretical_limits() -> dict:
+    """Asymptotic constants quoted in the paper's introduction/footnote 1.
+
+    Returns a dict with ``ll`` (= ln 2 ~ 69.3 %), ``light_threshold``
+    (~40.9 %) and ``rmts_cap`` (~81.8 %).
+    """
+    ln2 = math.log(2.0)
+    return {
+        "ll": ln2,
+        "light_threshold": ln2 / (1.0 + ln2),
+        "rmts_cap": 2.0 * ln2 / (1.0 + ln2),
+    }

@@ -1,0 +1,213 @@
+"""Exact response-time analysis (RTA) for fixed-priority uniprocessor
+scheduling with constrained (synthetic) deadlines.
+
+This is the admission test at the heart of both ``RM-TS/light`` and
+``RM-TS`` (Section IV-A): a (sub)task ``tau_i^k`` fits on a processor iff
+after adding it, *every* (sub)task ``tau_j^h`` on that processor has a
+worst-case response time ``R_j^h <= Delta_j^h``.
+
+Soundness of plain periodic interference terms.  Split subtasks are released
+with a *constant* offset relative to the parent release: a body subtask has
+the highest priority on its host processor (Lemma 2), so its response time
+equals its execution time on every job, making the ready time of the next
+piece a deterministic shift.  A constant shift keeps the arrival sequence
+strictly periodic, so the classic critical-instant interference bound
+``ceil(R / T_j) * C_j`` is exact here, and the synthetic deadline absorbs
+the shift for the analyzed task itself.
+
+Implementation notes (per the HPC guides): the fixed-point iteration is the
+hot path of every acceptance-ratio sweep, so it runs on flat NumPy arrays of
+``(C, T)`` for the higher-priority set — no Python object traffic inside the
+loop.  The iteration starts from the standard lower bound
+``C_i + sum(C_hp)`` and aborts as soon as the response exceeds the deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.floats import EPS
+from repro.core.task import Subtask
+
+__all__ = [
+    "response_time",
+    "response_times",
+    "is_schedulable",
+    "RTAResult",
+    "rta_arrays",
+    "first_failure",
+]
+
+#: Hard cap on fixed-point iterations; with U <= 1 the iteration converges in
+#: far fewer steps, this only guards against pathological float cycles.
+_MAX_ITER = 10_000
+
+
+def response_time(
+    cost: float,
+    hp_costs: np.ndarray,
+    hp_periods: np.ndarray,
+    deadline: float,
+) -> Optional[float]:
+    """Worst-case response time of one task under the given hp interference.
+
+    Parameters
+    ----------
+    cost:
+        Execution time of the analyzed (sub)task.
+    hp_costs, hp_periods:
+        Execution times and periods of strictly higher-priority (sub)tasks
+        sharing the processor.
+    deadline:
+        The analyzed task's (synthetic) deadline; the iteration aborts and
+        returns ``None`` as soon as the response exceeds it (no useful exact
+        value beyond that point for admission purposes).
+
+    Returns
+    -------
+    The smallest fixed point ``R = C + sum(ceil(R/T_j) C_j)`` if it is at
+    most ``deadline`` (up to tolerance), else ``None``.
+    """
+    if cost <= 0:
+        return 0.0
+    if hp_costs.size == 0:
+        return cost if cost <= deadline + EPS else None
+    r = cost + float(hp_costs.sum())  # standard warm start: one job of each
+    bound = deadline * (1.0 + 1e-12) + EPS
+    for _ in range(_MAX_ITER):
+        if r > bound:
+            return None
+        # interference: ceil(r / T_j) * C_j, vectorized over the hp set.
+        jobs = np.ceil(r / hp_periods - EPS)
+        r_new = cost + float(np.dot(jobs, hp_costs))
+        if r_new <= r + EPS:
+            return r_new if r_new <= bound else None
+        r = r_new
+    raise RuntimeError("RTA fixed point failed to converge")
+
+
+def rta_arrays(
+    subtasks: Sequence[Subtask],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose *subtasks* into ``(costs, periods, deadlines, priorities)``
+    arrays sorted by priority (highest first).
+
+    The sort key is the parent task id, which equals the RMS priority by
+    :class:`repro.core.task.TaskSet` construction.
+    """
+    order = sorted(range(len(subtasks)), key=lambda i: subtasks[i].priority)
+    costs = np.array([subtasks[i].cost for i in order], dtype=float)
+    periods = np.array([subtasks[i].period for i in order], dtype=float)
+    deadlines = np.array([subtasks[i].deadline for i in order], dtype=float)
+    prios = np.array([subtasks[i].priority for i in order], dtype=int)
+    return costs, periods, deadlines, prios
+
+
+@dataclass(frozen=True)
+class RTAResult:
+    """Outcome of analyzing one processor's subtask list.
+
+    ``responses[i]`` is the response time of the i-th subtask in priority
+    order, or ``nan`` when the subtask is unschedulable (response exceeds
+    its synthetic deadline).  ``schedulable`` is True iff no entry is nan.
+    """
+
+    schedulable: bool
+    responses: np.ndarray
+    deadlines: np.ndarray
+
+    @property
+    def slacks(self) -> np.ndarray:
+        """``Delta - R`` per subtask (nan where unschedulable)."""
+        return self.deadlines - self.responses
+
+
+def response_times(subtasks: Sequence[Subtask]) -> RTAResult:
+    """Exact RTA of every subtask sharing one processor.
+
+    Subtasks are analyzed in priority order; each one's interference set is
+    all strictly-higher-priority subtasks on the processor.  Equal priorities
+    cannot occur (one task contributes at most one subtask per processor and
+    tids are unique).
+    """
+    costs, periods, deadlines, prios = rta_arrays(subtasks)
+    n = costs.size
+    responses = np.full(n, np.nan)
+    ok = True
+    for i in range(n):
+        r = response_time(costs[i], costs[:i], periods[:i], deadlines[i])
+        if r is None:
+            ok = False
+        else:
+            responses[i] = r
+    return RTAResult(schedulable=ok, responses=responses, deadlines=deadlines)
+
+
+def is_schedulable(subtasks: Sequence[Subtask]) -> bool:
+    """Whether every subtask on the processor meets its synthetic deadline.
+
+    Short-circuits on the first failure (cheaper than
+    :func:`response_times` inside partitioning loops).  Also applies the
+    necessary utilization condition ``sum U <= 1`` up front.
+    """
+    if not subtasks:
+        return True
+    costs, periods, deadlines, _ = rta_arrays(subtasks)
+    if float((costs / periods).sum()) > 1.0 + EPS:
+        return False
+    for i in range(costs.size):
+        if response_time(costs[i], costs[:i], periods[:i], deadlines[i]) is None:
+            return False
+    return True
+
+
+def first_failure(subtasks: Sequence[Subtask]) -> Optional[Subtask]:
+    """Return the highest-priority subtask that misses its deadline, if any.
+
+    Useful for diagnostics and for locating *bottlenecks* (Definition 2) in
+    tests: increasing the top-priority cost slightly must make some subtask
+    fail on a full processor.
+    """
+    if not subtasks:
+        return None
+    ordered = sorted(subtasks, key=lambda s: s.priority)
+    costs, periods, deadlines, _ = rta_arrays(subtasks)
+    for i in range(costs.size):
+        if response_time(costs[i], costs[:i], periods[:i], deadlines[i]) is None:
+            return ordered[i]
+    return None
+
+
+def utilization_headroom(subtasks: Sequence[Subtask]) -> float:
+    """``1 - sum(U)`` for the processor (may be negative)."""
+    return 1.0 - float(sum(s.utilization for s in subtasks))
+
+
+def hyperbolic_bound_holds(subtasks: Sequence[Subtask]) -> bool:
+    """Bini-Buttazzo hyperbolic sufficient test ``prod(U_i + 1) <= 2``.
+
+    Provided as a cheap pre-filter for implicit-deadline subtask lists; the
+    partitioning algorithms use exact RTA, but tests cross-check that the
+    hyperbolic bound never accepts a set exact RTA rejects (it is strictly
+    weaker) when all deadlines equal periods.
+    """
+    prod = 1.0
+    for s in subtasks:
+        prod *= s.utilization + 1.0
+    return prod <= 2.0 + EPS
+
+
+def liu_layland_test_holds(subtasks: Sequence[Subtask]) -> bool:
+    """Classic L&L sufficient test ``sum U <= n(2^{1/n} - 1)``.
+
+    Like :func:`hyperbolic_bound_holds`, only meaningful when every subtask
+    has ``Delta = T``; used by tests and by threshold-based baselines.
+    """
+    n = len(subtasks)
+    if n == 0:
+        return True
+    total = float(sum(s.utilization for s in subtasks))
+    return total <= n * (2.0 ** (1.0 / n) - 1.0) + EPS

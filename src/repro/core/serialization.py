@@ -1,0 +1,128 @@
+"""JSON serialization of partitions.
+
+Lets a partition computed offline (design time) be stored, inspected,
+diffed and re-simulated later — the artifact a configuration toolchain
+would actually ship to a target.  The format is stable and human-readable:
+
+.. code-block:: json
+
+    {
+      "algorithm": "RM-TS[RTA(points)]",
+      "scheduler": "fixed",
+      "tasks": [{"cost": 2.0, "period": 4.0, "tid": 0, "name": "tau0"}],
+      "processors": [
+        {"index": 0, "role": "normal", "full": true,
+         "pre_assigned_tid": null,
+         "subtasks": [{"tid": 0, "cost": 1.5, "deadline": 4.0,
+                        "index": 1, "kind": "body"}]}
+      ],
+      "unassigned_tids": [],
+      "info": {...}
+    }
+
+Round-tripping preserves everything :func:`repro.sim.engine.simulate_partition`
+and :meth:`repro.core.partition.PartitionResult.validate` need.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.partition import PartitionResult, ProcessorRole, ProcessorState
+from repro.core.task import Subtask, SubtaskKind, TaskSet
+
+__all__ = ["partition_to_dict", "partition_from_dict", "save_partition", "load_partition"]
+
+
+def partition_to_dict(partition: PartitionResult) -> Dict:
+    """Serialize a partition to a JSON-compatible dict."""
+    return {
+        "format": "repro-partition-v1",
+        "algorithm": partition.algorithm,
+        "success": partition.success,
+        "scheduler": partition.scheduler,
+        "tasks": partition.taskset.to_dicts(),
+        "processors": [
+            {
+                "index": proc.index,
+                "role": proc.role.value,
+                "full": proc.full,
+                "pre_assigned_tid": proc.pre_assigned_tid,
+                "subtasks": [
+                    {
+                        "tid": sub.parent.tid,
+                        "cost": sub.cost,
+                        "deadline": sub.deadline,
+                        "index": sub.index,
+                        "kind": sub.kind.value,
+                    }
+                    for sub in proc.subtasks
+                ],
+            }
+            for proc in partition.processors
+        ],
+        "unassigned_tids": list(partition.unassigned_tids),
+        "info": _jsonable(partition.info),
+    }
+
+
+def _jsonable(obj):
+    """Best-effort conversion of info payloads to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def partition_from_dict(data: Dict) -> PartitionResult:
+    """Inverse of :func:`partition_to_dict`."""
+    if data.get("format") != "repro-partition-v1":
+        raise ValueError("not a repro partition file (missing format tag)")
+    taskset = TaskSet.from_dicts(data["tasks"])
+    by_tid = {t.tid: t for t in taskset}
+    processors: List[ProcessorState] = []
+    for row in data["processors"]:
+        proc = ProcessorState(
+            index=int(row["index"]),
+            full=bool(row["full"]),
+            role=ProcessorRole(row["role"]),
+            pre_assigned_tid=row.get("pre_assigned_tid"),
+        )
+        for sub in row["subtasks"]:
+            parent = by_tid[int(sub["tid"])]
+            proc.add(
+                Subtask(
+                    cost=float(sub["cost"]),
+                    period=parent.period,
+                    deadline=float(sub["deadline"]),
+                    parent=parent,
+                    index=int(sub["index"]),
+                    kind=SubtaskKind(sub["kind"]),
+                )
+            )
+        processors.append(proc)
+    return PartitionResult(
+        algorithm=str(data["algorithm"]),
+        taskset=taskset,
+        processors=processors,
+        success=bool(data["success"]),
+        unassigned_tids=[int(t) for t in data.get("unassigned_tids", [])],
+        info=dict(data.get("info", {})),
+    )
+
+
+def save_partition(partition: PartitionResult, path: str) -> None:
+    """Write a partition to *path* as pretty-printed JSON."""
+    with open(path, "w") as fh:
+        json.dump(partition_to_dict(partition), fh, indent=2)
+        fh.write("\n")
+
+
+def load_partition(path: str) -> PartitionResult:
+    """Read a partition previously written by :func:`save_partition`."""
+    with open(path) as fh:
+        return partition_from_dict(json.load(fh))

@@ -1,0 +1,36 @@
+"""Experiment drivers regenerating the evaluation (see DESIGN.md §3).
+
+Importing this package registers every experiment; run them via
+
+>>> from repro.experiments import get_experiment
+>>> report = get_experiment("e3").run(quick=True)
+>>> print(report.render())  # doctest: +SKIP
+
+or from the command line: ``python -m repro.experiments e3``.
+"""
+
+from repro.experiments.base import (
+    Experiment,
+    ExperimentReport,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+# Importing the driver modules populates the registry.
+from repro.experiments import worst_case  # noqa: F401  (e1, e2)
+from repro.experiments import acceptance_exps  # noqa: F401  (e3, e4)
+from repro.experiments import breakdown_exp  # noqa: F401  (e5)
+from repro.experiments import bounds_exp  # noqa: F401  (e6)
+from repro.experiments import sim_exps  # noqa: F401  (e7, e8)
+from repro.experiments import mechanism_exps  # noqa: F401  (e9, e10)
+from repro.experiments import extension_exps  # noqa: F401  (e11, e12)
+from repro.experiments import ablations  # noqa: F401  (a1)
+
+__all__ = [
+    "Experiment",
+    "ExperimentReport",
+    "all_experiments",
+    "get_experiment",
+    "register",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments e1 e3
+    python -m repro.experiments --all --full --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from pathlib import Path
+
+from repro.experiments import all_experiments, get_experiment
+
+
+def _write_report(directory: str, report) -> None:
+    """Persist a report as text plus one CSV per table."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{report.experiment_id}.txt").write_text(report.render() + "\n")
+    for i, table in enumerate(report.tables):
+        table.write_csv(str(out / f"{report.experiment_id}_table{i}.csv"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper-reproduction evaluation tables.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (e.g. e1 e3 a1)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="publication-scale runs (default: quick mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--write-dir",
+        default=None,
+        help="also write each rendered report (and every table as CSV) "
+        "into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp in all_experiments():
+            print(f"{exp.experiment_id:>4}  {exp.title}")
+        return 0
+
+    ids = [e.experiment_id for e in all_experiments()] if args.all else args.ids
+    if not ids:
+        parser.print_help()
+        return 2
+
+    failures = 0
+    for experiment_id in ids:
+        exp = get_experiment(experiment_id)
+        report = exp.run(quick=not args.full, seed=args.seed)
+        print(report.render())
+        print()
+        if args.write_dir:
+            _write_report(args.write_dir, report)
+        if not report.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Experiment framework: reports, registry, quick/full modes.
+
+Every evaluation artifact (see the experiment index in ``DESIGN.md``) is an
+:class:`Experiment` whose ``run`` produces an :class:`ExperimentReport`
+containing the tables the paper-style evaluation would plot, plus
+machine-checkable observations.  Benchmarks and the CLI both go through
+this registry, so ``pytest benchmarks/`` and
+``python -m repro.experiments e3`` print the same rows.
+
+``quick=True`` shrinks sample counts/platform sizes so the full suite runs
+in seconds (CI mode); ``quick=False`` reproduces publication-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro._util.tables import Table
+
+__all__ = ["ExperimentReport", "Experiment", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    #: The quantitative statement from the paper this experiment checks.
+    paper_claim: str
+    tables: List[Table] = field(default_factory=list)
+    #: Human-readable measured findings (mirrored into EXPERIMENTS.md).
+    observations: List[str] = field(default_factory=list)
+    #: Machine-checkable pass/fail facts, keyed by a short slug.
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Full text report."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        for table in self.tables:
+            lines.append(table.to_text())
+            lines.append("")
+        if self.observations:
+            lines.append("observations:")
+            lines.extend(f"  - {o}" for o in self.observations)
+        if self.checks:
+            lines.append("checks:")
+            lines.extend(
+                f"  [{'PASS' if ok else 'FAIL'}] {name}"
+                for name, ok in self.checks.items()
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment driver."""
+
+    experiment_id: str
+    title: str
+    run: Callable[..., ExperimentReport]  # run(quick: bool = True, seed: int = 0)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering an experiment driver function."""
+
+    def wrap(func: Callable[..., ExperimentReport]) -> Callable[..., ExperimentReport]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id, title=title, run=func
+        )
+        return func
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id (e.g. ``"e3"``)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

@@ -1,0 +1,343 @@
+"""E11 & E12 — extension experiments beyond the paper's evaluation.
+
+E11 (overhead robustness): the paper's related-work section dismisses
+Pfair/LLREF-style schemes for their context-switch overhead but analyzes
+its own algorithms in an idealized zero-overhead model.  This experiment
+quantifies the robustness RM-TS partitions actually have: the maximum
+per-preemption/migration overhead each accepted partition survives in
+simulation, as a function of how hard the platform is loaded.  Expected
+shape: tolerance shrinks as `U_M` grows and hits ~0 for partitions with a
+processor filled to exactly 100 % — slack is the budget overheads spend.
+
+E12 (EDF baselines): partitioned EDF (bin-packing with per-processor
+capacity 1 — the strongest no-splitting baseline possible) vs RM-TS.
+Expected shape: P-EDF dominates P-RM and tracks RM-TS* closely on random
+sets, but fails on the M+1-fat-tasks witness where splitting is the only
+way out; and EDF's worst-case partitioned bound still cannot exceed 50 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.tables import Table
+from repro.analysis.acceptance import acceptance_sweep
+from repro.analysis.algorithms import rmts_test
+from repro.analysis.sensitivity import overhead_tolerance, partition_scaling_factor
+from repro.core.baselines.edf import partition_edf
+from repro.core.baselines.partitioned import partition_no_split
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.experiments.base import ExperimentReport, register
+from repro.taskgen.generators import TaskSetGenerator
+
+__all__ = ["run_e11", "run_e12", "run_e13", "run_e14", "run_e15"]
+
+
+@register("e11", "Overhead robustness of accepted RM-TS partitions")
+def run_e11(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="e11",
+        title="Overhead robustness of accepted RM-TS partitions",
+        paper_claim=(
+            "Extension: the paper's model is overhead-free (its related "
+            "work criticizes high-context-switch schemes).  Accepted "
+            "partitions should tolerate preemption/migration overheads "
+            "proportional to their slack, vanishing as U_M -> 1."
+        ),
+    )
+    m = 4
+    n = 3 * m
+    samples = 8 if quick else 40
+    u_levels = [0.70, 0.85, 0.95]
+    gen = TaskSetGenerator(n=n, period_model="discrete")
+
+    table = Table(
+        ["U_M", "accepted", "mean overhead tol.", "min", "mean scaling factor"],
+        title=f"E11: tolerated per-preemption overhead, M={m}, N={n} "
+        "(time units; periods are 10..1000)",
+    )
+    means = []
+    for u in u_levels:
+        tols, scalings = [], []
+        for i in range(samples):
+            ts = gen.generate(u_norm=u, processors=m, seed=seed + 97 * i)
+            part = partition_rmts(ts, m)
+            if not part.success:
+                continue
+            tols.append(
+                overhead_tolerance(part, horizon=3000.0, max_overhead=5.0,
+                                   tolerance=5e-3)
+            )
+            scalings.append(partition_scaling_factor(part, tolerance=1e-4))
+        if not tols:
+            continue
+        table.add_row(
+            [u, len(tols), float(np.mean(tols)), float(np.min(tols)),
+             float(np.mean(scalings))]
+        )
+        means.append(float(np.mean(tols)))
+    report.tables.append(table)
+
+    report.checks["tolerance_decreases_with_load"] = all(
+        a >= b - 1e-9 for a, b in zip(means, means[1:])
+    )
+    report.checks["low_load_has_real_margin"] = means[0] > 0.05
+    report.observations.append(
+        f"mean tolerated overhead shrinks {means[0]:.3f} -> {means[-1]:.3f} "
+        f"time units as U_M goes {u_levels[0]} -> {u_levels[-1]}; the "
+        "zero-overhead idealization is benign at design-typical loads and "
+        "tight only where processors are packed to 100%."
+    )
+    return report
+
+
+@register("e12", "Partitioned EDF baselines vs the splitting algorithms")
+def run_e12(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="e12",
+        title="Partitioned EDF baselines vs the splitting algorithms",
+        paper_claim=(
+            "Extension/related work: strict partitioning — even with an "
+            "optimal uniprocessor scheduler (EDF) — is capped at 50% "
+            "worst-case; task splitting escapes that (Section I)."
+        ),
+    )
+    m = 4
+    n = 3 * m
+    samples = 25 if quick else 150
+    u_grid = [0.75, 0.85, 0.92, 0.96, 0.99]
+    gen = TaskSetGenerator(n=n, period_model="loguniform")
+
+    algorithms = {
+        "RM-TS*": rmts_test(None, dedicate_over_bound=False),
+        "P-EDF-FFD": lambda ts, mm: partition_edf(ts, mm).success,
+        "P-RM-FFD": lambda ts, mm: partition_no_split(ts, mm).success,
+    }
+    sweep = acceptance_sweep(
+        algorithms, gen, processors=m, u_grid=u_grid, samples=samples,
+        seed=seed,
+    )
+    report.tables.append(
+        sweep.table(title=f"E12: acceptance ratio, M={m}, N={n}")
+    )
+    report.checks["edf_dominates_rm_no_split"] = sweep.dominates(
+        "P-EDF-FFD", "P-RM-FFD", slack=1e-9
+    )
+
+    # The 50%+epsilon witness: M+1 tasks of utilization just above 1/2
+    # defeat ANY strict partitioning (even EDF); splitting schedules it.
+    witness = TaskSet.from_pairs([(5.2, 10.0)] * (m + 1))
+    edf_w = partition_edf(witness, m).success
+    rm_w = partition_no_split(witness, m).success
+    rmts_w = partition_rmts(witness, m, dedicate_over_bound=False).success
+    wtable = Table(
+        ["algorithm", "schedules M+1 tasks of U=0.52 on M procs?"],
+        title="E12b: the 50% witness (M=4, five tasks of U=0.52)",
+    )
+    wtable.add_row(["P-EDF-FFD", edf_w])
+    wtable.add_row(["P-RM-FFD", rm_w])
+    wtable.add_row(["RM-TS*", rmts_w])
+    report.tables.append(wtable)
+    report.checks["witness_defeats_strict_partitioning"] = (
+        not edf_w and not rm_w
+    )
+    report.checks["witness_schedulable_with_splitting"] = rmts_w
+    report.observations.append(
+        "EDF's optimal per-processor test buys a little acceptance over "
+        "RM without splitting, but both strict schemes fail the classic "
+        "50% witness that RM-TS splits its way through."
+    )
+    return report
+
+
+@register("e13", "Semi-partitioned EDF (EDF-WS) vs semi-partitioned RM (RM-TS)")
+def run_e13(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    from repro.core.baselines.edf_split import partition_edf_split
+    from repro.sim.engine import simulate_partition
+
+    report = ExperimentReport(
+        experiment_id="e13",
+        title="Semi-partitioned EDF (EDF-WS) vs semi-partitioned RM (RM-TS)",
+        paper_claim=(
+            "Extension/related work: EDF-based semi-partitioning was the "
+            "prior state of the art (~65% bound, Section I).  Both "
+            "splitting approaches should dominate strict partitioning; "
+            "EDF-WS partitions must also simulate cleanly under EDF "
+            "dispatching."
+        ),
+    )
+    m = 4
+    n = 3 * m
+    samples = 20 if quick else 120
+    u_grid = [0.80, 0.90, 0.95, 0.98]
+    gen = TaskSetGenerator(n=n, period_model="discrete")
+
+    algorithms = {
+        "RM-TS*": rmts_test(None, dedicate_over_bound=False),
+        "EDF-WS": lambda ts, mm: partition_edf_split(ts, mm).success,
+        "P-EDF-FFD": lambda ts, mm: partition_edf(ts, mm).success,
+    }
+    sweep = acceptance_sweep(
+        algorithms, gen, processors=m, u_grid=u_grid, samples=samples,
+        seed=seed,
+    )
+    report.tables.append(
+        sweep.table(title=f"E13: acceptance ratio, M={m}, N={n}, discrete periods")
+    )
+    report.checks["edf_ws_dominates_strict_edf"] = sweep.dominates(
+        "EDF-WS", "P-EDF-FFD", slack=0.05
+    )
+
+    # Run-time validation of EDF-WS partitions under EDF dispatching.
+    misses = simulated = 0
+    for i in range(samples if quick else 60):
+        ts = gen.generate(u_norm=0.9, processors=m, seed=seed + 13 * i)
+        part = partition_edf_split(ts, m)
+        if not part.success:
+            continue
+        sim = simulate_partition(part, horizon=3000.0)
+        simulated += 1
+        misses += len(sim.misses)
+    report.checks["edf_ws_partitions_simulate_clean"] = misses == 0
+    report.observations.append(
+        f"{simulated} EDF-WS partitions simulated under EDF dispatching "
+        f"with {misses} deadline misses; window-split admission via the "
+        "exact DBF test is sound."
+    )
+    return report
+
+
+@register("e14", "Resource sharing: schedulability loss under PCP blocking")
+def run_e14(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    from repro.core.resources import (
+        partition_no_split_with_resources,
+        random_resource_model,
+    )
+
+    report = ExperimentReport(
+        experiment_id="e14",
+        title="Resource sharing: schedulability loss under PCP blocking",
+        paper_claim=(
+            "Extension: the paper analyzes independent tasks; with shared "
+            "resources under the priority ceiling protocol, blocking terms "
+            "enter the exact RTA and acceptance degrades monotonically "
+            "with critical-section length (strict partitioning; splitting "
+            "with resources is out of the paper's scope)."
+        ),
+    )
+    m = 4
+    n = 3 * m
+    samples = 25 if quick else 150
+    u_norm = 0.80
+    fractions = [0.0, 0.05, 0.10, 0.20, 0.35]
+    gen = TaskSetGenerator(n=n, period_model="loguniform")
+
+    table = Table(
+        ["section fraction", "acceptance", "mean max blocking"],
+        title=f"E14: P-RM-FFD + PCP at U_M={u_norm}, M={m}, N={n}, "
+        "2 resources, access prob 0.4",
+    )
+    rng_master = np.random.default_rng(seed)
+    curve = []
+    for frac in fractions:
+        accepted = 0
+        max_blocks = []
+        for i in range(samples):
+            ts = gen.generate(u_norm=u_norm, processors=m, seed=seed + 101 * i)
+            rng = np.random.default_rng(seed + 7 * i)
+            model = random_resource_model(
+                ts, rng, num_resources=2, access_probability=0.4,
+                section_fraction=frac,
+            )
+            part = partition_no_split_with_resources(ts, m, model)
+            if part.success:
+                accepted += 1
+            max_blocks.append(
+                max((model.max_section_of(t.tid) for t in ts), default=0.0)
+            )
+        ratio = accepted / samples
+        curve.append(ratio)
+        table.add_row([frac, ratio, float(np.mean(max_blocks))])
+    report.tables.append(table)
+
+    report.checks["acceptance_monotone_in_section_length"] = all(
+        a >= b - 0.05 for a, b in zip(curve, curve[1:])
+    )
+    report.checks["zero_sections_match_plain_partitioning"] = curve[0] >= curve[1] - 1e-9
+    report.observations.append(
+        f"acceptance falls {curve[0]:.2f} -> {curve[-1]:.2f} as outermost "
+        f"critical sections grow from 0% to {fractions[-1]:.0%} of WCET — "
+        "blocking-aware exact RTA quantifies the price of sharing."
+    )
+    return report
+
+
+@register("e15", "Context-switch overhead: RM-TS vs a Pfair-style scheduler")
+def run_e15(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    from repro.sim.engine import simulate_partition
+    from repro.sim.proportional import simulate_pfair
+
+    report = ExperimentReport(
+        experiment_id="e15",
+        title="Context-switch overhead: RM-TS vs a Pfair-style scheduler",
+        paper_claim=(
+            "Section I (related work): Pfair/LLREF-family schedulers reach "
+            "100% utilization but 'incur much higher context-switch "
+            "overhead than priority-driven scheduling'.  Measured here: "
+            "preemption counts per unit of executed work under a "
+            "quantum-driven lag-based EPDF vs RM-TS on identical "
+            "workloads."
+        ),
+    )
+    m = 4
+    n = 3 * m
+    samples = 10 if quick else 50
+    horizon = 2000.0
+    gen = TaskSetGenerator(n=n, period_model="discrete")
+
+    table = Table(
+        ["U_M", "sets", "RM-TS preempt/1k", "Pfair preempt/1k",
+         "RM-TS migrate/1k", "Pfair migrate/1k", "ratio (preempt)"],
+        title=f"E15: scheduling overhead per 1000 time units of work, "
+        f"M={m}, N={n}, quantum=1",
+    )
+    ratios = []
+    for u in (0.70, 0.85):
+        rm_p = rm_m = pf_p = pf_m = busy = 0.0
+        used = 0
+        for i in range(samples):
+            ts = gen.generate(u_norm=u, processors=m, seed=seed + 11 * i)
+            part = partition_rmts(ts, m, dedicate_over_bound=False)
+            if not part.success:
+                continue
+            sim = simulate_partition(part, horizon=horizon, record_trace=True)
+            pf = simulate_pfair(ts, m, horizon=horizon, quantum=1.0)
+            if not sim.ok:
+                continue
+            a = sim.trace.overhead_summary()
+            b = pf.overhead_summary()
+            rm_p += a["preemptions"]
+            rm_m += a["migrations"]
+            pf_p += b["preemptions"]
+            pf_m += b["migrations"]
+            busy += a["busy_time"]
+            used += 1
+        if busy <= 0:
+            continue
+        scale = 1000.0 / busy
+        ratio = pf_p / rm_p if rm_p > 0 else float("inf")
+        ratios.append(ratio)
+        table.add_row(
+            [u, used, rm_p * scale, pf_p * scale, rm_m * scale,
+             pf_m * scale, ratio]
+        )
+    report.tables.append(table)
+    report.checks["pfair_preempts_more"] = all(r > 1.5 for r in ratios)
+    report.observations.append(
+        f"the quantum-driven scheduler preempts {min(ratios):.1f}-"
+        f"{max(ratios):.1f}x more often than RM-TS on the same workloads "
+        "— the overhead argument for priority-driven semi-partitioning, "
+        "quantified."
+    )
+    return report

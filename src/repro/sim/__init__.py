@@ -1,0 +1,34 @@
+"""Discrete-event scheduling simulators.
+
+* :mod:`repro.sim.engine` — partitioned scheduling with task splitting and
+  subtask precedence (validates Lemma 4 empirically);
+* :mod:`repro.sim.global_engine` — global fixed-priority scheduling
+  (Dhall-effect experiments);
+* :mod:`repro.sim.uniproc` — uniprocessor RMS wrappers;
+* :mod:`repro.sim.trace` — execution traces and run-time invariant checks;
+* :mod:`repro.sim.model` — jobs, job pieces, deadline-miss records.
+"""
+
+from repro.sim.model import Job, JobPiece, DeadlineMiss
+from repro.sim.trace import ExecutionInterval, Trace
+from repro.sim.engine import SimulationResult, simulate_partition, default_horizon
+from repro.sim.global_engine import GlobalSimulationResult, simulate_global
+from repro.sim.uniproc import simulate_uniprocessor, simulate_subtasks
+from repro.sim.proportional import ProportionalSimResult, simulate_pfair
+
+__all__ = [
+    "Job",
+    "JobPiece",
+    "DeadlineMiss",
+    "ExecutionInterval",
+    "Trace",
+    "SimulationResult",
+    "simulate_partition",
+    "default_horizon",
+    "GlobalSimulationResult",
+    "simulate_global",
+    "simulate_uniprocessor",
+    "simulate_subtasks",
+    "ProportionalSimResult",
+    "simulate_pfair",
+]

@@ -1,0 +1,178 @@
+"""Event-driven simulator for **global** fixed-priority scheduling.
+
+Used by experiment E8 to demonstrate the Dhall effect the paper's
+related-work section cites as the reason global RM has poor utilization
+bounds: at every instant the ``M`` highest-priority ready jobs run, jobs
+migrate freely, and the canonical witness set misses deadlines at total
+utilization barely above 1.
+
+The engine accepts an arbitrary priority order over tasks (a list of tids,
+highest priority first) so both plain global RM and RM-US priority
+assignments can be simulated (see
+:func:`repro.core.baselines.global_rm.rm_us_priority_order`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.floats import EPS
+from repro.core.task import TaskSet
+from repro.sim.model import DeadlineMiss
+
+__all__ = ["GlobalSimulationResult", "simulate_global"]
+
+
+@dataclass
+class _GJob:
+    tid: int
+    index: int
+    release: float
+    deadline: float
+    remaining: float
+    finish: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish is not None
+
+
+@dataclass
+class GlobalSimulationResult:
+    """Outcome of a global-scheduling simulation."""
+
+    horizon: float
+    misses: List[DeadlineMiss]
+    max_response: Dict[int, float]
+    jobs_completed: int
+    #: total processor busy time (for utilization sanity checks).
+    busy_time: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.misses
+
+
+def simulate_global(
+    taskset: TaskSet,
+    processors: int,
+    *,
+    horizon: float,
+    priority_order: Optional[Sequence[int]] = None,
+    stop_on_miss: bool = False,
+) -> GlobalSimulationResult:
+    """Simulate *taskset* under global preemptive fixed-priority scheduling.
+
+    ``priority_order`` lists tids highest-priority-first; by default the RM
+    order (the TaskSet's own tid order) is used.  Releases are synchronous
+    at time 0 and strictly periodic.
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    tids = [t.tid for t in taskset]
+    if priority_order is None:
+        priority_order = tids
+    if sorted(priority_order) != sorted(tids):
+        raise ValueError("priority_order must be a permutation of task ids")
+    prio = {tid: rank for rank, tid in enumerate(priority_order)}
+    tasks = {t.tid: t for t in taskset}
+
+    release_heap: List[Tuple[float, int, int]] = [(0.0, tid, 0) for tid in tids]
+    heapq.heapify(release_heap)
+    deadline_heap: List[Tuple[float, int, _GJob]] = []
+    counter = itertools.count()
+
+    pending: List[_GJob] = []
+    misses: List[DeadlineMiss] = []
+    missed: set = set()
+    max_response: Dict[int, float] = {}
+    jobs_completed = 0
+    busy_time = 0.0
+    now = 0.0
+
+    while True:
+        ready = [j for j in pending if not j.done]
+        running = sorted(ready, key=lambda j: prio[j.tid])[:processors]
+
+        candidates: List[float] = []
+        if release_heap:
+            candidates.append(release_heap[0][0])
+        if deadline_heap:
+            candidates.append(deadline_heap[0][0])
+        candidates.extend(now + j.remaining for j in running)
+        if not candidates:
+            break
+        t = min(candidates)
+        if t > horizon + EPS:
+            break
+
+        delta = t - now
+        busy_time += delta * len(running)
+        for job in running:
+            job.remaining -= delta
+            if job.remaining <= EPS:
+                job.remaining = 0.0
+                job.finish = t
+                jobs_completed += 1
+                response = t - job.release
+                if response > max_response.get(job.tid, -1.0):
+                    max_response[job.tid] = response
+                if t > job.deadline + EPS and (job.tid, job.index) not in missed:
+                    missed.add((job.tid, job.index))
+                    misses.append(
+                        DeadlineMiss(
+                            tid=job.tid,
+                            job_index=job.index,
+                            release=job.release,
+                            deadline=job.deadline,
+                            finish=t,
+                        )
+                    )
+        now = t
+        pending = [j for j in pending if not j.done]
+
+        while release_heap and release_heap[0][0] <= t + EPS:
+            rel, tid, k = heapq.heappop(release_heap)
+            task = tasks[tid]
+            job = _GJob(
+                tid=tid,
+                index=k,
+                release=rel,
+                deadline=rel + task.period,
+                remaining=task.cost,
+            )
+            pending.append(job)
+            heapq.heappush(deadline_heap, (job.deadline, next(counter), job))
+            next_rel = rel + task.period
+            if next_rel < horizon - EPS:
+                heapq.heappush(release_heap, (next_rel, tid, k + 1))
+
+        while deadline_heap and deadline_heap[0][0] <= t + EPS:
+            _, _, job = heapq.heappop(deadline_heap)
+            if not job.done and (job.tid, job.index) not in missed:
+                missed.add((job.tid, job.index))
+                misses.append(
+                    DeadlineMiss(
+                        tid=job.tid,
+                        job_index=job.index,
+                        release=job.release,
+                        deadline=job.deadline,
+                        finish=None,
+                    )
+                )
+
+        if stop_on_miss and misses:
+            break
+
+    return GlobalSimulationResult(
+        horizon=horizon,
+        misses=misses,
+        max_response=max_response,
+        jobs_completed=jobs_completed,
+        busy_time=busy_time,
+    )

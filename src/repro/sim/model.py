@@ -1,0 +1,119 @@
+"""Runtime objects for the discrete-event simulators.
+
+A :class:`Job` is one periodic activation of a task; it carries a chain of
+:class:`JobPiece` instances, one per subtask of the (possibly split) task,
+which must execute in order — piece ``k+1`` becomes ready only when piece
+``k`` finishes, possibly on a different processor (Section II, Figure 1 of
+the paper).  An unsplit task has a single piece.
+
+Simulation time is continuous (floats); all boundary comparisons share the
+package tolerance policy from :mod:`repro._util.floats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.task import Subtask, Task
+
+__all__ = ["JobPiece", "Job", "DeadlineMiss"]
+
+
+@dataclass
+class JobPiece:
+    """One subtask instance inside a job."""
+
+    subtask: Subtask
+    job: "Job"
+    processor: int
+    remaining: float
+    #: Time the piece became ready (release for the first piece, the
+    #: predecessor's finish time afterwards); None until then.
+    ready_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    #: Absolute deadline of this piece (job release + cumulative window),
+    #: used by EDF dispatching; the job-level deadline for fixed-priority.
+    abs_deadline: float = 0.0
+
+    @property
+    def priority(self) -> int:
+        """Scheduling priority — the parent task's original RMS priority."""
+        return self.subtask.priority
+
+    @property
+    def ready(self) -> bool:
+        return self.ready_time is not None and self.finish_time is None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+
+@dataclass
+class Job:
+    """One activation of a task: release time, absolute deadline, pieces."""
+
+    task: Task
+    index: int
+    release: float
+    pieces: List[JobPiece] = field(default_factory=list)
+
+    @property
+    def deadline(self) -> float:
+        """Absolute deadline ``release + T`` (implicit-deadline model)."""
+        return self.release + self.task.period
+
+    @property
+    def done(self) -> bool:
+        return all(p.done for p in self.pieces)
+
+    @property
+    def finish_time(self) -> Optional[float]:
+        """Completion time of the last piece, once done."""
+        if not self.done:
+            return None
+        return max(p.finish_time for p in self.pieces)  # type: ignore[arg-type]
+
+    def next_pending_piece(self) -> Optional[JobPiece]:
+        """The first unfinished piece in chain order."""
+        for piece in self.pieces:
+            if not piece.done:
+                return piece
+        return None
+
+    def activate(self) -> JobPiece:
+        """Mark the first piece ready at the release instant."""
+        first = self.pieces[0]
+        first.ready_time = self.release
+        return first
+
+    def complete_piece(self, piece: JobPiece, time: float) -> Optional[JobPiece]:
+        """Finish *piece* at *time*; returns the successor piece made
+        ready (or None when *piece* was the tail)."""
+        piece.finish_time = time
+        idx = self.pieces.index(piece)
+        if idx + 1 < len(self.pieces):
+            nxt = self.pieces[idx + 1]
+            nxt.ready_time = time
+            return nxt
+        return None
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A recorded deadline violation."""
+
+    tid: int
+    job_index: int
+    release: float
+    deadline: float
+    #: Finish time if the job eventually completed within the horizon,
+    #: else None (still pending when the simulation ended past deadline).
+    finish: Optional[float]
+
+    def lateness(self) -> Optional[float]:
+        """``finish - deadline`` when the job completed, else None."""
+        if self.finish is None:
+            return None
+        return self.finish - self.deadline

@@ -1,0 +1,258 @@
+"""Execution traces: recording, querying and invariant checking.
+
+The simulators can record every execution interval; a :class:`Trace` then
+supports the run-time invariants the paper's model implies:
+
+* a processor executes at most one piece at a time;
+* a (split) task never executes on two processors simultaneously — the
+  subtask precedence chain serializes it;
+* pieces only execute between ready time and finish time, on their assigned
+  processor;
+* total executed time per job equals the task's cost.
+
+These checks are what "the subtasks of a split task respect their
+precedence relations" (Section IV-A) means operationally, and the test
+suite runs them on every simulated partition.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro._util.floats import EPS
+
+__all__ = ["ExecutionInterval", "Trace"]
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """A maximal interval during which one piece ran uninterrupted."""
+
+    processor: int
+    tid: int
+    job_index: int
+    piece_index: int
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only list of execution intervals with analysis helpers."""
+
+    def __init__(self) -> None:
+        self.intervals: List[ExecutionInterval] = []
+
+    def record(self, interval: ExecutionInterval) -> None:
+        if interval.end < interval.start - EPS:
+            raise ValueError("interval ends before it starts")
+        if interval.length > EPS:
+            self.intervals.append(interval)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    # -- queries ---------------------------------------------------------------
+
+    def by_processor(self) -> Dict[int, List[ExecutionInterval]]:
+        """Intervals grouped by processor, each list sorted by start."""
+        groups: Dict[int, List[ExecutionInterval]] = defaultdict(list)
+        for iv in self.intervals:
+            groups[iv.processor].append(iv)
+        for ivs in groups.values():
+            ivs.sort(key=lambda iv: iv.start)
+        return dict(groups)
+
+    def by_task(self) -> Dict[int, List[ExecutionInterval]]:
+        """Intervals grouped by task id, each list sorted by start."""
+        groups: Dict[int, List[ExecutionInterval]] = defaultdict(list)
+        for iv in self.intervals:
+            groups[iv.tid].append(iv)
+        for ivs in groups.values():
+            ivs.sort(key=lambda iv: iv.start)
+        return dict(groups)
+
+    def busy_time(self, processor: int) -> float:
+        """Total executed time on *processor*."""
+        return sum(iv.length for iv in self.intervals if iv.processor == processor)
+
+    def executed_per_job(self) -> Dict[Tuple[int, int], float]:
+        """Executed time keyed by ``(tid, job_index)``."""
+        acc: Dict[Tuple[int, int], float] = defaultdict(float)
+        for iv in self.intervals:
+            acc[(iv.tid, iv.job_index)] += iv.length
+        return dict(acc)
+
+    # -- invariant checks ------------------------------------------------------
+
+    @staticmethod
+    def _overlaps(sorted_ivs: Sequence[ExecutionInterval]) -> List[str]:
+        errors = []
+        for a, b in zip(sorted_ivs, sorted_ivs[1:]):
+            if b.start < a.end - EPS:
+                errors.append(
+                    f"overlap: ({a.tid},{a.piece_index})@[{a.start:.6f},{a.end:.6f}]"
+                    f" vs ({b.tid},{b.piece_index})@[{b.start:.6f},{b.end:.6f}]"
+                )
+        return errors
+
+    def check_processor_exclusivity(self) -> List[str]:
+        """No two intervals overlap on the same processor."""
+        errors: List[str] = []
+        for proc, ivs in self.by_processor().items():
+            errors.extend(f"P{proc}: {e}" for e in self._overlaps(ivs))
+        return errors
+
+    def check_no_intra_task_parallelism(self) -> List[str]:
+        """A task never runs on two processors at the same instant."""
+        errors: List[str] = []
+        for tid, ivs in self.by_task().items():
+            errors.extend(f"task {tid}: {e}" for e in self._overlaps(ivs))
+        return errors
+
+    def check_piece_order(self) -> List[str]:
+        """Within a job, piece k's execution strictly precedes piece k+1's."""
+        errors: List[str] = []
+        per_job: Dict[Tuple[int, int], List[ExecutionInterval]] = defaultdict(list)
+        for iv in self.intervals:
+            per_job[(iv.tid, iv.job_index)].append(iv)
+        for (tid, job), ivs in per_job.items():
+            last_end_by_piece: Dict[int, float] = {}
+            first_start_by_piece: Dict[int, float] = {}
+            for iv in ivs:
+                last_end_by_piece[iv.piece_index] = max(
+                    last_end_by_piece.get(iv.piece_index, -1.0), iv.end
+                )
+                first_start_by_piece[iv.piece_index] = min(
+                    first_start_by_piece.get(iv.piece_index, float("inf")),
+                    iv.start,
+                )
+            pieces = sorted(last_end_by_piece)
+            for a, b in zip(pieces, pieces[1:]):
+                if first_start_by_piece[b] < last_end_by_piece[a] - EPS:
+                    errors.append(
+                        f"task {tid} job {job}: piece {b} starts before "
+                        f"piece {a} finishes"
+                    )
+        return errors
+
+    def check_all(self) -> List[str]:
+        """Run every invariant check; empty list = clean trace."""
+        return (
+            self.check_processor_exclusivity()
+            + self.check_no_intra_task_parallelism()
+            + self.check_piece_order()
+        )
+
+    # -- overhead accounting -----------------------------------------------------
+
+    def context_switches(self) -> int:
+        """Number of context switches: per processor, every change of the
+        executing (task, job, piece) between consecutive intervals (plus
+        the initial dispatch of each processor)."""
+        switches = 0
+        for ivs in self.by_processor().values():
+            prev = None
+            for iv in ivs:
+                key = (iv.tid, iv.job_index, iv.piece_index)
+                if key != prev:
+                    switches += 1
+                prev = key
+        return switches
+
+    def preemptions(self) -> int:
+        """Number of preemptions: a piece's execution is interrupted and
+        later resumed (same (task, job, piece) appears in non-adjacent
+        intervals on its processor)."""
+        count = 0
+        for ivs in self.by_processor().values():
+            executed: Dict[Tuple[int, int, int], int] = {}
+            for iv in ivs:
+                key = (iv.tid, iv.job_index, iv.piece_index)
+                executed[key] = executed.get(key, 0) + 1
+            count += sum(n - 1 for n in executed.values())
+        return count
+
+    def migrations(self) -> int:
+        """Number of job migrations: per job, transitions between
+        processors along its execution (split tasks migrate once per
+        body->successor handoff; unsplit jobs never)."""
+        count = 0
+        per_job: Dict[Tuple[int, int], List[ExecutionInterval]] = defaultdict(list)
+        for iv in self.intervals:
+            per_job[(iv.tid, iv.job_index)].append(iv)
+        for ivs in per_job.values():
+            ivs.sort(key=lambda iv: iv.start)
+            prev_proc = None
+            for iv in ivs:
+                if prev_proc is not None and iv.processor != prev_proc:
+                    count += 1
+                prev_proc = iv.processor
+        return count
+
+    def overhead_summary(self) -> Dict[str, float]:
+        """Context switches, preemptions and migrations, absolute and per
+        unit of executed time."""
+        busy = sum(iv.length for iv in self.intervals)
+        switches = self.context_switches()
+        preempts = self.preemptions()
+        migrates = self.migrations()
+        return {
+            "busy_time": busy,
+            "context_switches": switches,
+            "preemptions": preempts,
+            "migrations": migrates,
+            "switches_per_time": switches / busy if busy > 0 else 0.0,
+        }
+
+    # -- export ----------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Export intervals as CSV (for external Gantt/analysis tooling)."""
+        import csv as _csv
+        import io as _io
+
+        buf = _io.StringIO()
+        writer = _csv.writer(buf)
+        writer.writerow(
+            ["processor", "tid", "job_index", "piece_index", "start", "end"]
+        )
+        for iv in sorted(self.intervals, key=lambda iv: (iv.start, iv.processor)):
+            writer.writerow(
+                [iv.processor, iv.tid, iv.job_index, iv.piece_index,
+                 iv.start, iv.end]
+            )
+        return buf.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to *path*."""
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+    # -- presentation ------------------------------------------------------------
+
+    def gantt_text(self, *, until: float = float("inf"), width: int = 78) -> str:
+        """Coarse ASCII Gantt chart (for examples; not a precision tool)."""
+        ivs = [iv for iv in self.intervals if iv.start < until]
+        if not ivs:
+            return "(empty trace)"
+        end = min(until, max(iv.end for iv in ivs))
+        scale = width / end if end > 0 else 1.0
+        lines = []
+        for proc, proc_ivs in sorted(self.by_processor().items()):
+            row = [" "] * width
+            for iv in proc_ivs:
+                if iv.start >= until:
+                    continue
+                lo = int(iv.start * scale)
+                hi = max(lo + 1, int(min(iv.end, end) * scale))
+                mark = str(iv.tid % 10)
+                for x in range(lo, min(hi, width)):
+                    row[x] = mark
+            lines.append(f"P{proc} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Random task-set generation for schedulability experiments.
+
+* :mod:`repro.taskgen.uunifast` — UUniFast / UUniFast-discard;
+* :mod:`repro.taskgen.randfixedsum` — Stafford's RandFixedSum;
+* :mod:`repro.taskgen.periods` — log-uniform / uniform / discrete /
+  harmonic / K-chain period models;
+* :mod:`repro.taskgen.generators` — :class:`TaskSetGenerator`, the
+  configuration object the experiment harness consumes.
+"""
+
+from repro.taskgen.uunifast import uunifast, uunifast_discard, uniform_utilizations
+from repro.taskgen.randfixedsum import randfixedsum, randfixedsum_utilizations
+from repro.taskgen.periods import (
+    loguniform_periods,
+    uniform_periods,
+    discrete_periods,
+    harmonic_periods,
+    k_chain_periods,
+)
+from repro.taskgen.generators import TaskSetGenerator, make_rng
+from repro.taskgen.workloads import WORKLOAD_PRESETS, build_workload, preset_names
+
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "uniform_utilizations",
+    "randfixedsum",
+    "randfixedsum_utilizations",
+    "loguniform_periods",
+    "uniform_periods",
+    "discrete_periods",
+    "harmonic_periods",
+    "k_chain_periods",
+    "TaskSetGenerator",
+    "make_rng",
+    "WORKLOAD_PRESETS",
+    "build_workload",
+    "preset_names",
+]

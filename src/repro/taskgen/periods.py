@@ -1,0 +1,157 @@
+"""Period generation: log-uniform, uniform, discrete, harmonic and K-chain.
+
+The paper's parametric bounds are functions of the period structure, so the
+experiment suite needs precise control over it:
+
+* **log-uniform** periods (the standard choice: equal density per order of
+  magnitude) for general task sets;
+* **harmonic** period sets — every pair of periods divides — for the 100 %
+  bound instantiation (E1);
+* **K-chain** sets: the union of exactly *K* harmonic chains with mutually
+  non-harmonic bases, exercising the harmonic-chain bound
+  ``K (2^{1/K} - 1)`` (E2);
+* **discrete** menus (e.g. {1, 2, 5, 10, 20, 50, 100} ms) mimicking
+  industrial configurations.
+
+Generators return float arrays; combine with a utilization generator via
+:mod:`repro.taskgen.generators`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.validation import check_positive
+from repro.core.bounds import harmonic_chain_count
+
+__all__ = [
+    "loguniform_periods",
+    "uniform_periods",
+    "discrete_periods",
+    "harmonic_periods",
+    "k_chain_periods",
+]
+
+
+def loguniform_periods(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    tmin: float = 10.0,
+    tmax: float = 1000.0,
+) -> np.ndarray:
+    """Periods log-uniform in ``[tmin, tmax]``."""
+    check_positive("tmin", tmin)
+    if tmax <= tmin:
+        raise ValueError("tmax must exceed tmin")
+    return np.exp(rng.uniform(np.log(tmin), np.log(tmax), size=n))
+
+
+def uniform_periods(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    tmin: float = 10.0,
+    tmax: float = 1000.0,
+) -> np.ndarray:
+    """Periods uniform in ``[tmin, tmax]``."""
+    check_positive("tmin", tmin)
+    if tmax <= tmin:
+        raise ValueError("tmax must exceed tmin")
+    return rng.uniform(tmin, tmax, size=n)
+
+
+def discrete_periods(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    menu: Sequence[float] = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0),
+) -> np.ndarray:
+    """Periods drawn uniformly from a fixed *menu* of values."""
+    if not menu:
+        raise ValueError("menu must be non-empty")
+    return rng.choice(np.asarray(menu, dtype=float), size=n, replace=True)
+
+
+def harmonic_periods(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    base: float = 10.0,
+    max_factor: int = 3,
+    max_ratio: float = 100.0,
+) -> np.ndarray:
+    """A fully harmonic period set (single chain).
+
+    Built as a random multiplicative chain ``T_{i+1} = T_i * f`` with
+    ``f in {1..max_factor}``; once the ratio cap ``base * max_ratio`` would
+    be exceeded the chain stays at its current value (factor 1), which
+    keeps *every* pair of produced periods in a divides relation —
+    resetting to the base would not (``6*base`` and ``4*base`` are both
+    multiples of ``base`` but not of each other).  The result is shuffled,
+    and :func:`repro.core.bounds.harmonic_chain_count` returns 1 on it.
+    """
+    check_positive("base", base)
+    if max_factor < 1:
+        raise ValueError("max_factor must be >= 1")
+    periods = np.empty(n, dtype=float)
+    current = base
+    cap = base * max_ratio
+    for i in range(n):
+        periods[i] = current
+        factor = int(rng.integers(1, max_factor + 1))
+        if current * factor <= cap:
+            current = current * factor
+    rng.shuffle(periods)
+    return periods
+
+
+def k_chain_periods(
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    base_low: float = 10.0,
+    base_high: float = 13.0,
+    max_factor: int = 3,
+    max_ratio: float = 64.0,
+    verify: bool = True,
+) -> np.ndarray:
+    """Periods forming exactly *k* harmonic chains.
+
+    Each chain grows from its own base; bases are irrational-looking reals
+    drawn from ``[base_low, base_high)`` rescaled by distinct prime-ish
+    multipliers so no cross-chain pair is harmonic.  Tasks are spread over
+    chains round-robin.  With ``verify=True`` (default) the construction is
+    checked with the exact minimum-chain-cover computation and redrawn if a
+    smaller cover exists (can only happen with astronomically unlikely
+    rational collisions).
+    """
+    if k < 1:
+        raise ValueError("need k >= 1")
+    if n < k:
+        raise ValueError("need at least one task per chain")
+    # Multipliers chosen so that ratios between any two chains' periods are
+    # never integers: pairwise ratios of these primes times a random real.
+    primes = [1.0, 1.31, 1.73, 2.39, 3.11, 4.63, 5.87, 7.91, 9.67, 11.41]
+    if k > len(primes):
+        raise ValueError(f"k up to {len(primes)} supported")
+    for _ in range(100):
+        bases = rng.uniform(base_low, base_high) * np.asarray(primes[:k])
+        sizes = [n // k + (1 if i < n % k else 0) for i in range(k)]
+        periods = []
+        for chain, size in enumerate(sizes):
+            current = float(bases[chain])
+            cap = current * max_ratio
+            for _ in range(size):
+                periods.append(current)
+                factor = int(rng.integers(1, max_factor + 1))
+                if current * factor <= cap:
+                    current = current * factor
+        arr = np.asarray(periods, dtype=float)
+        rng.shuffle(arr)
+        if not verify or harmonic_chain_count(arr) == k:
+            return arr
+    raise RuntimeError(f"failed to construct a {k}-chain period set")

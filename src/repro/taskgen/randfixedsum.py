@@ -1,0 +1,97 @@
+"""Stafford's RandFixedSum: uniform vectors with a fixed sum and bounds.
+
+UUniFast-discard becomes inefficient when the total utilization is close to
+``n * max_util`` (nearly all draws are rejected).  Roger Stafford's
+RandFixedSum algorithm samples *exactly* uniformly from the intersection of
+the hypercube ``[0, 1]^n`` with the hyperplane ``sum x = s`` with no
+rejection, which is why Emberson/Stafford/Bini's task-set generator adopted
+it.  This is a NumPy port of the original MATLAB routine specialised to the
+``[0, 1]`` cube (utilizations are rescaled afterwards for other bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["randfixedsum", "randfixedsum_utilizations"]
+
+
+def randfixedsum(
+    n: int, s: float, rng: np.random.Generator, *, m: int = 1
+) -> np.ndarray:
+    """Draw *m* vectors of length *n* in ``[0, 1]`` with component sum *s*.
+
+    Returns an array of shape ``(m, n)``.  Requires ``0 <= s <= n``.
+    The samples are uniform over the (n-1)-dimensional polytope
+    ``{x in [0,1]^n : sum x = s}``.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if not 0.0 <= s <= n:
+        raise ValueError(f"sum must lie in [0, {n}], got {s}")
+    if n == 1:
+        return np.full((m, 1), s, dtype=float)
+
+    # Probability table over the simplex decomposition.
+    k = int(min(max(np.floor(s), 0), n - 1))
+    s = float(s)
+    s1 = s - np.arange(k, k - n, -1, dtype=float)
+    s2 = np.arange(k + n, k, -1, dtype=float) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[: i] / i
+        tmp2 = w[i - 2, : i] * s2[n - i : n] / i
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[: i]
+        t[i - 2, : i] = (tmp2 / tmp3) * tmp4 + (1.0 - tmp1 / tmp3) * (~tmp4)
+
+    x = np.zeros((n, m))
+    rt = rng.random((n - 1, m))  # rand simplex type
+    rs = rng.random((n - 1, m))  # rand position in simplex
+    sm = np.zeros(m)
+    pr = np.ones(m)
+    j = np.full(m, k + 1, dtype=int)
+
+    for i in range(n - 1, 0, -1):
+        e = rt[n - i - 1, :] <= t[i - 1, np.clip(j - 1, 0, n - 1)]
+        sx = rs[n - i - 1, :] ** (1.0 / i)
+        sm += (1.0 - sx) * pr * s / (i + 1)
+        pr *= sx
+        x[n - i - 1, :] = sm + pr * e
+        s = s - e
+        j = j - e.astype(int)
+    x[n - 1, :] = sm + pr * s
+
+    # Random permutation per sample (the construction is ordered).
+    out = x.T.copy()
+    for row in out:
+        rng.shuffle(row)
+    return out
+
+
+def randfixedsum_utilizations(
+    n: int,
+    u_total: float,
+    rng: np.random.Generator,
+    *,
+    max_util: float = 1.0,
+) -> np.ndarray:
+    """One utilization vector summing to *u_total*, each ``<= max_util``.
+
+    Implemented by sampling on the unit cube scaled by *max_util*:
+    ``x in [0, max_util]^n`` with ``sum x = u_total`` is the image of
+    ``randfixedsum(n, u_total / max_util)`` under multiplication by
+    *max_util*, preserving uniformity.
+    """
+    if max_util <= 0:
+        raise ValueError("max_util must be positive")
+    if u_total > n * max_util:
+        raise ValueError("infeasible: u_total exceeds n * max_util")
+    sample = randfixedsum(n, u_total / max_util, rng, m=1)[0]
+    return sample * max_util

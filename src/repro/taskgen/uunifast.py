@@ -1,0 +1,101 @@
+"""Utilization generation: UUniFast, UUniFast-discard and capped variants.
+
+UUniFast (Bini & Buttazzo) draws a vector of ``n`` task utilizations that
+sums exactly to ``u_total``, uniformly over the standard simplex — the de
+facto standard generator in schedulability evaluations, including the one
+this paper's line of work uses.
+
+For multiprocessor experiments ``u_total`` exceeds 1, where plain UUniFast
+can emit individual utilizations above 1 (infeasible for a sequential
+task); **UUniFast-discard** (Davis & Burns) redraws until every utilization
+respects a cap.  A cap below 1 also produces the paper's *light* task sets
+(``U_i <= Theta/(1+Theta)``).
+
+All functions are vectorized NumPy and take an explicit
+``numpy.random.Generator`` — no hidden global state, per the HPC guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.floats import EPS
+from repro._util.validation import check_positive
+
+__all__ = ["uunifast", "uunifast_discard", "uniform_utilizations"]
+
+
+def uunifast(n: int, u_total: float, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` utilizations summing to *u_total* (uniform on the simplex).
+
+    The classic O(n) recurrence: ``sum_i = u_total * rand^{1/i}`` walking
+    ``i = n-1 .. 1``.
+    """
+    if n < 1:
+        raise ValueError("need at least one task")
+    check_positive("u_total", u_total)
+    if n == 1:
+        return np.array([u_total], dtype=float)
+    # Vectorized recurrence: sum_k = u_total * prod_{j>k} r_j^{1/j}.
+    exponents = 1.0 / np.arange(n - 1, 0, -1, dtype=float)
+    factors = rng.random(n - 1) ** exponents
+    sums = np.empty(n, dtype=float)
+    sums[0] = u_total
+    sums[1:] = u_total * np.cumprod(factors)
+    utils = np.empty(n, dtype=float)
+    utils[:-1] = sums[:-1] - sums[1:]
+    utils[-1] = sums[-1]
+    return utils
+
+
+def uunifast_discard(
+    n: int,
+    u_total: float,
+    rng: np.random.Generator,
+    *,
+    max_util: float = 1.0,
+    min_util: float = 0.0,
+    max_tries: int = 10_000,
+) -> np.ndarray:
+    """UUniFast with rejection until every utilization lies in
+    ``[min_util, max_util]``.
+
+    Raises ``RuntimeError`` when the constraint is infeasible or so tight
+    that *max_tries* redraws are exhausted (e.g. ``u_total > n * max_util``
+    is rejected up front).
+    """
+    check_positive("max_util", max_util)
+    if u_total > n * max_util + EPS:
+        raise ValueError(
+            f"cannot place total utilization {u_total} on {n} tasks "
+            f"capped at {max_util}"
+        )
+    if u_total < n * min_util - EPS:
+        raise ValueError(
+            f"total utilization {u_total} below the n*min_util floor"
+        )
+    for _ in range(max_tries):
+        utils = uunifast(n, u_total, rng)
+        if utils.max() <= max_util + EPS and utils.min() >= min_util - EPS:
+            return np.clip(utils, min_util, max_util)
+    raise RuntimeError(
+        f"UUniFast-discard exhausted {max_tries} tries "
+        f"(n={n}, u_total={u_total}, max_util={max_util})"
+    )
+
+
+def uniform_utilizations(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    low: float = 0.05,
+    high: float = 0.5,
+) -> np.ndarray:
+    """Independent per-task utilizations, uniform in ``[low, high]``.
+
+    Unlike UUniFast the total is random; useful for breakdown-utilization
+    experiments where the set is subsequently scaled.
+    """
+    if not 0.0 < low <= high <= 1.0:
+        raise ValueError("need 0 < low <= high <= 1")
+    return rng.uniform(low, high, size=n)

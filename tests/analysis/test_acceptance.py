@@ -1,0 +1,136 @@
+"""Tests for acceptance-ratio machinery."""
+
+import pytest
+
+from repro.analysis.acceptance import (
+    SweepResult,
+    acceptance_ratio,
+    acceptance_sweep,
+)
+from repro.analysis.algorithms import (
+    rmts_light_test,
+    rmts_test,
+    standard_algorithms,
+)
+from repro.core.task import TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+def always(ts, m):
+    return True
+
+
+def never(ts, m):
+    return False
+
+
+class TestAcceptanceRatio:
+    def test_extremes(self, harmonic_set):
+        sets = [harmonic_set] * 4
+        assert acceptance_ratio(always, sets, 2) == 1.0
+        assert acceptance_ratio(never, sets, 2) == 0.0
+
+    def test_counts_fraction(self, harmonic_set, general_set):
+        def only_harmonic(ts, m):
+            return ts.is_harmonic()
+
+        assert acceptance_ratio(
+            only_harmonic, [harmonic_set, general_set], 2
+        ) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            acceptance_ratio(always, [], 2)
+
+
+class TestAcceptanceSweep:
+    def _sweep(self):
+        gen = TaskSetGenerator(n=6)
+        return acceptance_sweep(
+            {"yes": always, "no": never},
+            gen,
+            processors=2,
+            u_grid=[0.5, 0.7, 0.9],
+            samples=5,
+            seed=0,
+        )
+
+    def test_curve_shapes(self):
+        sweep = self._sweep()
+        assert sweep.curves["yes"] == [1.0, 1.0, 1.0]
+        assert sweep.curves["no"] == [0.0, 0.0, 0.0]
+
+    def test_table(self):
+        table = self._sweep().table("t")
+        assert table.header == ["U_M", "yes", "no"]
+        assert len(table) == 3
+
+    def test_dominates(self):
+        sweep = self._sweep()
+        assert sweep.dominates("yes", "no")
+        assert not sweep.dominates("no", "yes")
+
+    def test_crossover(self):
+        sweep = self._sweep()
+        assert sweep.crossover("no", level=0.5) == 0.5
+        assert sweep.crossover("yes", level=0.5) is None
+
+    def test_area(self):
+        sweep = self._sweep()
+        assert sweep.area("yes") == pytest.approx(0.4)  # grid span
+        assert sweep.area("no") == 0.0
+
+    def test_validates_args(self):
+        gen = TaskSetGenerator(n=4)
+        with pytest.raises(ValueError):
+            acceptance_sweep({}, gen, processors=2, u_grid=[0.5], samples=5)
+        with pytest.raises(ValueError):
+            acceptance_sweep(
+                {"a": always}, gen, processors=2, u_grid=[0.5], samples=0
+            )
+
+    def test_same_workloads_for_all_algorithms(self):
+        """Curves are comparable: a test and its negation sum to 1."""
+        gen = TaskSetGenerator(n=8)
+
+        seen_a, seen_b = [], []
+
+        def spy_a(ts, m):
+            seen_a.append(ts)
+            return True
+
+        def spy_b(ts, m):
+            seen_b.append(ts)
+            return True
+
+        acceptance_sweep(
+            {"a": spy_a, "b": spy_b},
+            gen,
+            processors=2,
+            u_grid=[0.6],
+            samples=4,
+            seed=1,
+        )
+        assert seen_a == seen_b
+
+
+class TestAlgorithmMenu:
+    def test_standard_menu_keys(self):
+        menu = standard_algorithms()
+        assert {"RM-TS", "SPA2", "P-RM-FFD"} <= set(menu)
+
+    def test_optional_entries(self):
+        menu = standard_algorithms(include_light=True, include_global=True)
+        assert "RM-TS/light" in menu and "SPA1" in menu
+        assert "RM-US(test)" in menu
+
+    def test_tests_are_callable(self, harmonic_set):
+        for name, test in standard_algorithms(include_light=True).items():
+            assert isinstance(test(harmonic_set, 2), bool), name
+
+    def test_rmts_test_with_kwargs(self, harmonic_set):
+        test = rmts_test(None, dedicate_over_bound=False)
+        assert test(harmonic_set, 2) in (True, False)
+
+    def test_rmts_light_test(self, harmonic_set):
+        assert rmts_light_test()(harmonic_set, 2) is True

@@ -1,0 +1,84 @@
+"""Tests for breakdown-utilization search."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    BreakdownStats,
+    average_breakdown,
+    breakdown_utilization,
+)
+from repro.core.rta import is_schedulable
+from repro.core.task import Subtask, TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+def uniproc_rta(ts, m):
+    return is_schedulable([Subtask.whole(t) for t in ts])
+
+
+def utilization_cap_test(cap):
+    def test(ts, m):
+        return ts.normalized_utilization(m) <= cap
+
+    return test
+
+
+class TestBreakdownUtilization:
+    def test_exact_threshold_found(self, harmonic_set):
+        bd = breakdown_utilization(
+            utilization_cap_test(0.6), harmonic_set, 2, tolerance=1e-4
+        )
+        assert bd == pytest.approx(0.6, abs=1e-3)
+
+    def test_harmonic_uniproc_breaks_at_one(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        bd = breakdown_utilization(uniproc_rta, ts, 1, tolerance=1e-4)
+        assert bd == pytest.approx(1.0, abs=5e-3)
+
+    def test_cap_at_max_individual_utilization(self):
+        # max U_i = 0.5 at base; scaling stops when it reaches 1.0, i.e.
+        # at twice the base normalized utilization.
+        ts = TaskSet.from_pairs([(2, 4), (1, 10)])
+        always = lambda t, m: True
+        bd = breakdown_utilization(always, ts, 2, tolerance=1e-4)
+        assert bd == pytest.approx(2 * ts.normalized_utilization(2), rel=1e-6)
+
+    def test_never_accepted_returns_zero(self, harmonic_set):
+        bd = breakdown_utilization(
+            lambda t, m: False, harmonic_set, 2, tolerance=1e-3
+        )
+        assert bd == pytest.approx(0.0, abs=2e-3)
+
+    def test_zero_utilization_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            breakdown_utilization(uniproc_rta, ts, 0)
+
+
+class TestBreakdownStats:
+    def test_summary_statistics(self):
+        stats = BreakdownStats(values=[0.5, 0.7, 0.9])
+        assert stats.mean == pytest.approx(0.7)
+        assert stats.minimum == 0.5
+        assert stats.maximum == 0.9
+        assert stats.quantile(0.5) == pytest.approx(0.7)
+        assert stats.std > 0
+
+
+class TestAverageBreakdown:
+    def test_uniproc_mean_in_plausible_band(self):
+        gen = TaskSetGenerator(n=8, period_model="loguniform")
+        stats = average_breakdown(
+            uniproc_rta, gen, processors=1, samples=10, seed=0,
+            tolerance=5e-3,
+        )
+        # classic result: well above the 69-72% bound, below 1.0
+        assert 0.75 < stats.mean <= 1.0
+
+    def test_deterministic(self):
+        gen = TaskSetGenerator(n=6)
+        a = average_breakdown(uniproc_rta, gen, processors=1, samples=5,
+                              seed=3, tolerance=5e-3)
+        b = average_breakdown(uniproc_rta, gen, processors=1, samples=5,
+                              seed=3, tolerance=5e-3)
+        assert a.values == b.values

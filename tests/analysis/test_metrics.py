@@ -1,0 +1,58 @@
+"""Tests for aggregate schedulability metrics."""
+
+import pytest
+
+from repro.analysis.acceptance import SweepResult
+from repro.analysis.metrics import (
+    capacity_loss,
+    utilization_gain,
+    weighted_schedulability,
+)
+
+
+def sweep(curves):
+    u = [0.6, 0.8, 1.0]
+    return SweepResult(u_grid=u, processors=4, samples=10, curves=curves)
+
+
+class TestWeightedSchedulability:
+    def test_full_acceptance_scores_one(self):
+        s = sweep({"a": [1.0, 1.0, 1.0]})
+        assert weighted_schedulability(s, "a") == pytest.approx(1.0)
+
+    def test_zero_acceptance_scores_zero(self):
+        s = sweep({"a": [0.0, 0.0, 0.0]})
+        assert weighted_schedulability(s, "a") == 0.0
+
+    def test_high_load_weighs_more(self):
+        drops_late = sweep({"a": [1.0, 1.0, 0.0]})
+        drops_early = sweep({"a": [0.0, 1.0, 1.0]})
+        assert weighted_schedulability(drops_early, "a") > (
+            weighted_schedulability(drops_late, "a")
+        )
+
+    def test_explicit_value(self):
+        s = sweep({"a": [1.0, 0.5, 0.0]})
+        # (0.6*1 + 0.8*0.5 + 1.0*0) / 2.4
+        assert weighted_schedulability(s, "a") == pytest.approx(1.0 / 2.4)
+
+
+class TestUtilizationGain:
+    def test_gain_between_crossovers(self):
+        s = sweep({"good": [1.0, 1.0, 0.2], "bad": [1.0, 0.2, 0.0]})
+        assert utilization_gain(s, "good", "bad") == pytest.approx(0.2)
+
+    def test_none_when_no_crossover(self):
+        s = sweep({"good": [1.0, 1.0, 1.0], "bad": [1.0, 0.2, 0.0]})
+        assert utilization_gain(s, "good", "bad") is None
+
+
+class TestCapacityLoss:
+    def test_ll_threshold_loss(self):
+        assert capacity_loss(0.6931) == pytest.approx(0.3069)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            capacity_loss(0.0)
+        with pytest.raises(ValueError):
+            capacity_loss(1.2)

@@ -1,0 +1,56 @@
+"""Integration of the aggregate metrics with real acceptance sweeps."""
+
+import pytest
+
+from repro.analysis.acceptance import acceptance_sweep
+from repro.analysis.algorithms import rmts_light_test
+from repro.analysis.metrics import utilization_gain, weighted_schedulability
+from repro.core.baselines.spa import partition_spa1
+from repro.core.bounds import ll_bound
+from repro.taskgen.generators import TaskSetGenerator
+
+
+@pytest.fixture(scope="module")
+def real_sweep():
+    gen = TaskSetGenerator(n=12, period_model="loguniform").light()
+    return acceptance_sweep(
+        {
+            "RM-TS/light": rmts_light_test(),
+            "SPA1": lambda ts, m: partition_spa1(ts, m).success,
+        },
+        gen,
+        processors=3,
+        u_grid=[0.60, 0.70, 0.80, 0.90, 0.95],
+        samples=20,
+        seed=9,
+    )
+
+
+class TestWeightedSchedulabilityOnRealData:
+    def test_rta_scores_higher_than_threshold(self, real_sweep):
+        w_rta = weighted_schedulability(real_sweep, "RM-TS/light")
+        w_spa = weighted_schedulability(real_sweep, "SPA1")
+        assert w_rta > w_spa
+
+    def test_scores_in_unit_interval(self, real_sweep):
+        for name in real_sweep.curves:
+            assert 0.0 <= weighted_schedulability(real_sweep, name) <= 1.0
+
+
+class TestUtilizationGainOnRealData:
+    def test_gain_positive_and_substantial(self, real_sweep):
+        gain = utilization_gain(real_sweep, "RM-TS/light", "SPA1", level=0.5)
+        if gain is None:
+            # RM-TS/light never dropped below 50% on the grid — the gain
+            # is at least the distance from SPA1's crossover to grid end.
+            cross = real_sweep.crossover("SPA1", level=0.5)
+            assert cross is not None
+            assert real_sweep.u_grid[-1] - cross > 0.1
+        else:
+            assert gain > 0.1
+
+    def test_spa1_crossover_at_its_threshold(self, real_sweep):
+        cross = real_sweep.crossover("SPA1", level=0.5)
+        assert cross is not None
+        # SPA1 collapses right above Theta(N=12) ~ 0.714
+        assert cross == pytest.approx(0.80, abs=0.11)

@@ -1,0 +1,87 @@
+"""Tests for processor-count minimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.minprocs import compare_minimum_processors, minimum_processors
+from repro.core.baselines.spa import partition_spa2
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+def rmts_test(ts, m):
+    return partition_rmts(ts, m, dedicate_over_bound=False).success
+
+
+class TestMinimumProcessors:
+    def test_single_processor_workload(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 8)])
+        assert minimum_processors(rmts_test, ts) == 1
+
+    def test_utilization_lower_bound_respected(self):
+        # U = 2.25 -> at least 3 processors no matter the algorithm
+        ts = TaskSet.from_pairs([(3, 4)] * 3)
+        m = minimum_processors(rmts_test, ts)
+        assert m is not None and m >= 3
+
+    def test_cap_returns_none(self):
+        ts = TaskSet.from_pairs([(3, 4)] * 3)
+        assert minimum_processors(lambda t, m: False, ts,
+                                  max_processors=8) is None
+
+    def test_matches_linear_scan(self):
+        gen = TaskSetGenerator(n=10, period_model="loguniform")
+        for seed in range(6):
+            ts = gen.generate(u_norm=0.8, processors=3, seed=seed)
+            fast = minimum_processors(rmts_test, ts, max_processors=16)
+            slow = next(
+                (m for m in range(1, 17) if rmts_test(ts, m)), None
+            )
+            assert fast == slow
+
+    def test_rejects_bad_cap(self, harmonic_set):
+        with pytest.raises(ValueError):
+            minimum_processors(rmts_test, harmonic_set, max_processors=0)
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_acceptance_monotone_in_processors(self, seed):
+        """The assumption behind the bisection: adding processors never
+        turns success into failure (for the splitting algorithms)."""
+        rng = np.random.default_rng(seed)
+        gen = TaskSetGenerator(n=8, period_model="loguniform")
+        ts = gen.generate(u_norm=float(rng.uniform(0.5, 0.9)),
+                          processors=2, seed=rng)
+        results = [rmts_test(ts, m) for m in range(1, 7)]
+        # once True, stays True
+        seen = False
+        for ok in results:
+            if seen:
+                assert ok
+            seen = seen or ok
+
+
+class TestCompareTable:
+    def test_table_shape(self, harmonic_set):
+        table = compare_minimum_processors(
+            {
+                "RM-TS": rmts_test,
+                "SPA2": lambda ts, m: partition_spa2(ts, m).success,
+            },
+            harmonic_set,
+        )
+        assert len(table) == 2
+        assert table.column("algorithm") == ["RM-TS", "SPA2"]
+
+    def test_rmts_never_needs_more_than_spa2(self):
+        gen = TaskSetGenerator(n=9, period_model="loguniform")
+        for seed in range(6):
+            ts = gen.generate(u_norm=0.8, processors=3, seed=seed)
+            m_rmts = minimum_processors(rmts_test, ts)
+            m_spa2 = minimum_processors(
+                lambda t, m: partition_spa2(t, m).success, ts
+            )
+            assert m_rmts is not None and m_spa2 is not None
+            assert m_rmts <= m_spa2

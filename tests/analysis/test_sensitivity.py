@@ -1,0 +1,84 @@
+"""Tests for sensitivity analysis (scaling factors, overhead tolerance)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    critical_scaling_factor,
+    max_cost_for,
+    overhead_tolerance,
+    partition_scaling_factor,
+)
+from repro.core.rmts import partition_rmts
+from repro.core.task import Subtask, Task, TaskSet
+
+
+def subs(taskset):
+    return [Subtask.whole(t) for t in taskset]
+
+
+class TestCriticalScalingFactor:
+    def test_exact_boundary_harmonic(self):
+        # U = 0.5 harmonic -> exactly factor 2 fits (U = 1 harmonic works)
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (1, 16)])
+        f = critical_scaling_factor(subs(ts))
+        assert f == pytest.approx(16.0 / 7.0, rel=1e-3)
+
+    def test_saturated_set_factor_one(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        assert critical_scaling_factor(subs(ts)) == pytest.approx(1.0, rel=1e-4)
+
+    def test_unschedulable_set_below_one(self):
+        ts = TaskSet.from_pairs([(3, 4), (3, 8)])
+        f = critical_scaling_factor(subs(ts))
+        assert 0 < f < 1.0
+
+    def test_empty_processor(self):
+        assert critical_scaling_factor([]) == 100.0
+
+
+class TestMaxCostFor:
+    def test_single_task_bounded_by_deadline(self):
+        ts = TaskSet.from_pairs([(1, 10)])
+        assert max_cost_for(subs(ts), 0) == pytest.approx(10.0)
+
+    def test_low_priority_task_growth(self):
+        # (2,4) fixed; (C,16) can grow until R hits 16: C + ceil(R/4)*2 = 16
+        # => C = 16 - 4*2 = 8.
+        ts = TaskSet.from_pairs([(2, 4), (1, 16)])
+        c_max = max_cost_for(subs(ts), 1)
+        assert c_max == pytest.approx(8.0, rel=1e-6)
+
+    def test_growth_limited_by_lower_priority_task(self):
+        # growing the (1,4) task is limited by the (4,16) task's deadline
+        ts = TaskSet.from_pairs([(1, 4), (4, 16)])
+        c_max = max_cost_for(subs(ts), 0)
+        # with C0 = 3: R1 = 4 + 4*3 = 16 <= 16 exactly
+        assert c_max == pytest.approx(3.0, rel=1e-6)
+
+
+class TestPartitionScalingFactor:
+    def test_accepted_partition_has_factor_ge_one(self, harmonic_set):
+        part = partition_rmts(harmonic_set, 2)
+        assert part.success
+        assert partition_scaling_factor(part) >= 1.0 - 1e-6
+
+    def test_tight_partition_is_exactly_one(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        assert part.success
+        f = partition_scaling_factor(part, tolerance=1e-5)
+        # MaxSplit filled one processor to a bottleneck -> factor ~1
+        assert f == pytest.approx(1.0, abs=1e-3)
+
+
+class TestOverheadTolerance:
+    def test_slack_rich_partition_tolerates_overhead(self, harmonic_set):
+        part = partition_rmts(harmonic_set, 2)
+        tol = overhead_tolerance(part, horizon=96.0, max_overhead=2.0,
+                                 tolerance=1e-2)
+        assert tol > 0.0
+
+    def test_saturated_partition_tolerates_nothing(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        tol = overhead_tolerance(part, horizon=96.0, max_overhead=1.0,
+                                 tolerance=1e-2)
+        assert tol == pytest.approx(0.0, abs=1e-2)

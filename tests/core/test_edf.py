@@ -1,0 +1,136 @@
+"""Tests for the EDF baselines and the demand-bound-function substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines.edf import (
+    dbf_test_points,
+    demand_bound_function,
+    edf_schedulable,
+    partition_edf,
+)
+from repro.core.baselines.partitioned import FitHeuristic, partition_no_split
+from repro.core.rta import is_schedulable
+from repro.core.task import Subtask, SubtaskKind, Task, TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+from tests.conftest import integer_taskset_strategy
+
+
+def subs(taskset):
+    return [Subtask.whole(t) for t in taskset]
+
+
+class TestDemandBoundFunction:
+    def test_zero_interval(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        assert demand_bound_function(subs(ts), 0.0) == 0.0
+
+    def test_single_job_demand(self):
+        ts = TaskSet.from_pairs([(2, 5)])
+        assert demand_bound_function(subs(ts), 5.0) == pytest.approx(2.0)
+        assert demand_bound_function(subs(ts), 4.9) == pytest.approx(0.0)
+
+    def test_multiple_jobs(self):
+        ts = TaskSet.from_pairs([(2, 5)])
+        assert demand_bound_function(subs(ts), 10.0) == pytest.approx(4.0)
+        assert demand_bound_function(subs(ts), 14.9) == pytest.approx(4.0)
+        assert demand_bound_function(subs(ts), 15.0) == pytest.approx(6.0)
+
+    def test_constrained_deadline_shifts_demand(self):
+        t = Task(cost=2.0, period=10.0, tid=0)
+        tail = Subtask(cost=2.0, period=10.0, deadline=6.0, parent=t,
+                       index=2, kind=SubtaskKind.TAIL)
+        assert demand_bound_function([tail], 5.9) == 0.0
+        assert demand_bound_function([tail], 6.0) == pytest.approx(2.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            demand_bound_function([], -1.0)
+
+    @given(integer_taskset_strategy(max_tasks=4, max_period=12),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_dbf_monotone(self, ts, t):
+        s = subs(ts)
+        assert demand_bound_function(s, t) <= demand_bound_function(s, t + 1.0) + 1e-9
+
+
+class TestDbfTestPoints:
+    def test_points_are_deadlines(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 6)])
+        pts = dbf_test_points(subs(ts), 12.0)
+        assert set(pts) == {4.0, 6.0, 8.0, 12.0}
+
+    def test_horizon_respected(self):
+        ts = TaskSet.from_pairs([(1, 5)])
+        pts = dbf_test_points(subs(ts), 11.0)
+        assert pts.max() <= 11.0
+
+
+class TestEdfSchedulable:
+    def test_empty(self):
+        assert edf_schedulable([])
+
+    def test_implicit_deadline_u_le_1(self):
+        # Non-harmonic, U = 1.0: EDF schedules it, RMS does not.
+        ts = TaskSet.from_pairs([(2.5, 5), (3.5, 7)])
+        assert edf_schedulable(subs(ts))
+        assert not is_schedulable(subs(ts))
+
+    def test_overload_rejected(self):
+        ts = TaskSet.from_pairs([(3, 5), (3, 6)])
+        assert not edf_schedulable(subs(ts))
+
+    def test_constrained_deadlines_checked_by_dbf(self):
+        t0 = Task(cost=3.0, period=6.0, tid=0)
+        t1 = Task(cost=3.0, period=6.0, tid=1)
+        tight = Subtask(cost=3.0, period=6.0, deadline=5.0, parent=t1,
+                        index=2, kind=SubtaskKind.TAIL)
+        # dbf(5) = 3 <= 5 ok; dbf(6) = 6 <= 6 ok -> schedulable
+        assert edf_schedulable([Subtask.whole(t0), tight])
+        tighter = Subtask(cost=3.0, period=6.0, deadline=2.5, parent=t1,
+                          index=2, kind=SubtaskKind.TAIL)
+        # dbf(2.5) = 3 > 2.5 -> not schedulable
+        assert not edf_schedulable([Subtask.whole(t0), tighter])
+
+    @given(integer_taskset_strategy(max_tasks=5, max_period=16))
+    @settings(max_examples=40, deadline=None)
+    def test_edf_dominates_fixed_priority(self, ts):
+        """EDF is optimal on one processor: whatever RMS schedules
+        (implicit deadlines), EDF schedules too."""
+        if is_schedulable(subs(ts)):
+            assert edf_schedulable(subs(ts))
+
+
+class TestPartitionEdf:
+    def test_simple_success(self, harmonic_set):
+        result = partition_edf(harmonic_set, 2)
+        assert result.success
+        assert result.algorithm.startswith("P-EDF")
+
+    def test_capacity_one_exact(self):
+        # two tasks of U=1 need exactly two processors under EDF
+        ts = TaskSet.from_pairs([(5, 5), (7, 7)])
+        assert not partition_edf(ts, 1).success
+        assert partition_edf(ts, 2).success
+
+    def test_fat_task_witness_fails(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        assert not partition_edf(ts, 2).success
+
+    def test_edf_accepts_whenever_rm_partitioning_does(self):
+        gen = TaskSetGenerator(n=10, period_model="loguniform")
+        for seed in range(10):
+            ts = gen.generate(u_norm=0.85, processors=3, seed=seed)
+            if partition_no_split(ts, 3, admission="rta").success:
+                assert partition_edf(ts, 3).success
+
+    def test_heuristics(self, harmonic_set):
+        for h in FitHeuristic:
+            assert partition_edf(harmonic_set, 2, heuristic=h).success
+
+    def test_rejects_zero_processors(self, harmonic_set):
+        with pytest.raises(ValueError):
+            partition_edf(harmonic_set, 0)

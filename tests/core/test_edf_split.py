@@ -1,0 +1,144 @@
+"""Tests for semi-partitioned EDF (window-constrained migration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines.edf import edf_schedulable, partition_edf
+from repro.core.baselines.edf_split import (
+    max_edf_piece_cost,
+    partition_edf_split,
+)
+from repro.core.task import Subtask, SubtaskKind, Task, TaskSet
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+
+
+class TestMaxEdfPieceCost:
+    def test_empty_processor_full_window(self):
+        task = Task(cost=8.0, period=10.0, tid=0)
+        assert max_edf_piece_cost([], task, 5.0) == pytest.approx(5.0)
+
+    def test_capped_by_task_cost(self):
+        task = Task(cost=2.0, period=10.0, tid=0)
+        assert max_edf_piece_cost([], task, 5.0) == pytest.approx(2.0)
+
+    def test_zero_window(self):
+        task = Task(cost=2.0, period=10.0, tid=0)
+        assert max_edf_piece_cost([], task, 0.0) == 0.0
+
+    def test_fills_to_unit_utilization(self):
+        # existing U=0.5; a window-5 piece can take c=5 exactly (EDF
+        # schedules U=1 with these deadline points).
+        other = Subtask.whole(Task(cost=5.0, period=10.0, tid=1))
+        task = Task(cost=8.0, period=10.0, tid=0)
+        c = max_edf_piece_cost([other], task, 5.0)
+        assert c == pytest.approx(5.0)
+
+    def test_loaded_processor_reduces_capacity(self):
+        # existing U=0.6 leaves only c=4 for the newcomer (U bound binds
+        # before the window does).
+        other = Subtask.whole(Task(cost=6.0, period=10.0, tid=1))
+        task = Task(cost=8.0, period=10.0, tid=0)
+        c = max_edf_piece_cost([other], task, 5.0)
+        assert c == pytest.approx(4.0, rel=1e-6)
+        piece = Subtask(cost=c, period=10.0, deadline=5.0, parent=task,
+                        index=1, kind=SubtaskKind.BODY)
+        assert edf_schedulable([other, piece])
+
+    def test_result_is_maximal(self):
+        other = Subtask.whole(Task(cost=4.0, period=8.0, tid=1))
+        task = Task(cost=7.0, period=12.0, tid=0)
+        c = max_edf_piece_cost([other], task, 6.0)
+        bigger = Subtask(cost=c + 1e-4, period=12.0, deadline=6.0,
+                         parent=task, index=1, kind=SubtaskKind.BODY)
+        assert not edf_schedulable([other, bigger])
+
+
+class TestPartitionEdfSplit:
+    def test_fat_task_witness_schedulable(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        result = partition_edf_split(ts, 2)
+        assert result.success
+        assert result.validate() == []
+        assert result.split_tids()
+        assert result.scheduler == "edf"
+
+    def test_dominates_strict_edf(self):
+        gen = TaskSetGenerator(n=8, period_model="discrete")
+        for seed in range(10):
+            ts = gen.generate(u_norm=0.9, processors=2, seed=seed)
+            if partition_edf(ts, 2).success:
+                assert partition_edf_split(ts, 2).success
+
+    def test_window_budget_respected(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        result = partition_edf_split(ts, 2)
+        for view in result.split_views().values():
+            pieces = view.sorted_pieces()
+            if len(pieces) > 1:
+                assert sum(p.deadline for p in pieces) <= view.task.period + 1e-9
+
+    def test_overload_fails(self):
+        ts = TaskSet.from_pairs([(9, 10)] * 3)
+        assert not partition_edf_split(ts, 2).success
+
+    def test_max_pieces_cap(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        result = partition_edf_split(ts, 2, max_pieces=2)
+        for view in result.split_views().values():
+            assert len(view.pieces) <= 2
+
+    def test_rejects_zero_processors(self, harmonic_set):
+        with pytest.raises(ValueError):
+            partition_edf_split(harmonic_set, 0)
+
+
+class TestEdfRuntime:
+    def test_witness_simulates_clean_under_edf(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        part = partition_edf_split(ts, 2)
+        sim = simulate_partition(part, horizon=200.0, record_trace=True)
+        assert sim.ok
+        assert sim.trace.check_all() == []
+
+    def test_scheduler_inferred_from_partition(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        part = partition_edf_split(ts, 2)
+        # explicit and inferred runs agree
+        a = simulate_partition(part, horizon=100.0)
+        b = simulate_partition(part, horizon=100.0, scheduler="edf")
+        assert a.max_response == b.max_response
+
+    def test_fixed_priority_dispatch_can_miss_what_edf_meets(self):
+        """The window split relies on EDF dispatching; forcing RMS
+        priorities on the same partition may miss (tau2's piece has a
+        tight window but the lowest RMS priority)."""
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        part = partition_edf_split(ts, 2)
+        edf_sim = simulate_partition(part, horizon=200.0)
+        fixed_sim = simulate_partition(part, horizon=200.0, scheduler="fixed")
+        assert edf_sim.ok
+        # not asserting a miss (depends on layout), but EDF is never worse
+        assert len(edf_sim.misses) <= len(fixed_sim.misses)
+
+    def test_unknown_scheduler_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        part = partition_edf(ts, 1)
+        with pytest.raises(ValueError):
+            simulate_partition(part, horizon=8.0, scheduler="magic")
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15, deadline=None)
+    def test_accepted_edf_ws_partitions_never_miss(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 4))
+        gen = TaskSetGenerator(n=3 * m, period_model="discrete")
+        ts = gen.generate(u_norm=float(rng.uniform(0.7, 0.95)),
+                          processors=m, seed=rng)
+        part = partition_edf_split(ts, m)
+        if not part.success:
+            return
+        assert part.validate() == []
+        sim = simulate_partition(part, horizon=3000.0)
+        assert sim.ok, sim.misses[:3]

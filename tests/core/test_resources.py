@@ -1,0 +1,166 @@
+"""Tests for the resource-sharing subsystem (PCP blocking, partitioning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.partitioned import partition_no_split
+from repro.core.resources import (
+    CriticalSection,
+    ResourceModel,
+    partition_no_split_with_resources,
+    pcp_blocking_terms,
+    random_resource_model,
+)
+from repro.core.task import Subtask, TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+def subs(taskset):
+    return [Subtask.whole(t) for t in taskset]
+
+
+class TestResourceModel:
+    def test_add_and_query(self):
+        model = ResourceModel()
+        model.add(0, "R0", 1.0)
+        model.add(1, "R0", 2.0)
+        model.add(1, "R1", 0.5)
+        assert model.resources() == ["R0", "R1"]
+        assert model.users_of("R0") == [0, 1]
+        assert model.max_section_of(1) == 2.0
+        assert model.total_section_of(1) == 2.5
+
+    def test_section_validation(self):
+        with pytest.raises(ValueError):
+            CriticalSection(tid=0, resource="R", length=0.0)
+
+    def test_validate_against_taskset(self):
+        ts = TaskSet.from_pairs([(2, 10), (3, 10)])
+        model = ResourceModel()
+        model.add(0, "R0", 1.0)
+        assert model.validate_against(ts) == []
+        model.add(0, "R0", 5.0)  # total 6 > C=2
+        assert model.validate_against(ts)
+
+    def test_unknown_tid_flagged(self):
+        ts = TaskSet.from_pairs([(2, 10)])
+        model = ResourceModel()
+        model.add(99, "R0", 1.0)
+        assert any("unknown" in e for e in model.validate_against(ts))
+
+
+class TestPcpBlockingTerms:
+    def test_no_resources_no_blocking(self, harmonic_set):
+        blocking = pcp_blocking_terms(subs(harmonic_set), ResourceModel())
+        assert blocking == [0.0] * len(harmonic_set)
+
+    def test_high_priority_blocked_by_low_sharer(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        model = ResourceModel()
+        model.add(0, "R0", 0.25)
+        model.add(1, "R0", 0.5)
+        blocking = pcp_blocking_terms(subs(ts), model)
+        # tau0 blocked by tau1's section; tau1 blocked by nobody below it
+        assert blocking == [0.5, 0.0]
+
+    def test_ceiling_blocks_middle_task(self):
+        # R0 shared by tau0 and tau2: ceiling = prio(tau0).  tau1 does not
+        # use R0 but can still be blocked by tau2's section (ceiling above
+        # tau1's priority).
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        model = ResourceModel()
+        model.add(0, "R0", 0.2)
+        model.add(2, "R0", 0.7)
+        blocking = pcp_blocking_terms(subs(ts), model)
+        assert blocking[0] == pytest.approx(0.7)
+        assert blocking[1] == pytest.approx(0.7)
+        assert blocking[2] == 0.0
+
+    def test_low_ceiling_does_not_block_high_task(self):
+        # R0 shared only by tau1 and tau2 (ceiling = prio(tau1)): tau0 is
+        # never blocked.
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        model = ResourceModel()
+        model.add(1, "R0", 0.3)
+        model.add(2, "R0", 0.6)
+        blocking = pcp_blocking_terms(subs(ts), model)
+        assert blocking[0] == 0.0
+        assert blocking[1] == pytest.approx(0.6)
+
+    def test_remote_sections_do_not_block(self):
+        # only tau2's piece is local; tau0 elsewhere -> no local ceiling
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        model = ResourceModel()
+        model.add(0, "R0", 0.2)
+        model.add(2, "R0", 0.7)
+        local = [subs(ts)[1], subs(ts)[2]]  # tau1, tau2 on this processor
+        blocking = pcp_blocking_terms(local, model)
+        # ceiling of R0 locally = prio(tau2) (only local user), which is
+        # below tau1 -> tau1 unblocked.
+        assert blocking == [0.0, 0.0]
+
+
+class TestPartitionWithResources:
+    def test_zero_sections_equal_plain(self):
+        gen = TaskSetGenerator(n=10, period_model="loguniform")
+        for seed in range(6):
+            ts = gen.generate(u_norm=0.8, processors=3, seed=seed)
+            plain = partition_no_split(ts, 3).success
+            with_res = partition_no_split_with_resources(
+                ts, 3, ResourceModel()
+            ).success
+            assert plain == with_res
+
+    def test_blocking_reduces_acceptance(self):
+        gen = TaskSetGenerator(n=8, period_model="loguniform")
+        worse = 0
+        for seed in range(12):
+            ts = gen.generate(u_norm=0.85, processors=2, seed=seed)
+            rng = np.random.default_rng(seed)
+            model = random_resource_model(
+                ts, rng, num_resources=2, access_probability=0.8,
+                section_fraction=0.4,
+            )
+            plain = partition_no_split(ts, 2).success
+            loaded = partition_no_split_with_resources(ts, 2, model).success
+            if plain and not loaded:
+                worse += 1
+            # blocking can never *help*
+            assert not (loaded and not plain)
+        assert worse >= 1  # heavy sharing must hurt at least once
+
+    def test_invalid_model_rejected(self, harmonic_set):
+        model = ResourceModel()
+        model.add(0, "R0", 100.0)
+        with pytest.raises(ValueError):
+            partition_no_split_with_resources(harmonic_set, 2, model)
+
+    def test_successful_partitions_record_info(self, harmonic_set):
+        model = ResourceModel()
+        model.add(0, "R0", 0.1)
+        model.add(2, "R0", 0.2)
+        part = partition_no_split_with_resources(harmonic_set, 2, model)
+        assert part.success
+        assert part.info["resources"] == ["R0"]
+
+
+class TestRandomResourceModel:
+    def test_sections_fit_budget(self):
+        gen = TaskSetGenerator(n=10)
+        ts = gen.generate(u_norm=0.7, processors=2, seed=1)
+        rng = np.random.default_rng(0)
+        model = random_resource_model(ts, rng, section_fraction=0.3)
+        assert model.validate_against(ts) == []
+
+    def test_zero_probability_empty(self):
+        gen = TaskSetGenerator(n=5)
+        ts = gen.generate(u_norm=0.5, processors=1, seed=0)
+        rng = np.random.default_rng(0)
+        model = random_resource_model(ts, rng, access_probability=0.0)
+        assert model.sections == []
+
+    def test_bad_args_rejected(self, harmonic_set, rng):
+        with pytest.raises(ValueError):
+            random_resource_model(harmonic_set, rng, access_probability=2.0)
+        with pytest.raises(ValueError):
+            random_resource_model(harmonic_set, rng, num_resources=0)

@@ -1,0 +1,265 @@
+"""Unit, integration and property tests for RM-TS (Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    ConstantBound,
+    HarmonicChainBound,
+    LiuLaylandBound,
+    light_task_threshold,
+    ll_bound,
+    rmts_bound_cap,
+)
+from repro.core.partition import ProcessorRole
+from repro.core.rmts import (
+    partition_rmts,
+    pre_assign_condition,
+    resolve_bound_value,
+)
+from repro.core.task import Task, TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+class TestResolveBoundValue:
+    def test_default_is_ll(self, general_set):
+        assert resolve_bound_value(general_set, None) == pytest.approx(
+            min(ll_bound(len(general_set)), rmts_bound_cap(len(general_set)))
+        )
+
+    def test_cap_applied(self, harmonic_set):
+        v = resolve_bound_value(harmonic_set, ConstantBound(1.0))
+        assert v == pytest.approx(rmts_bound_cap(len(harmonic_set)))
+
+    def test_cap_disabled(self, harmonic_set):
+        v = resolve_bound_value(harmonic_set, ConstantBound(1.0), cap=False)
+        assert v == 1.0
+
+    def test_float_bound_accepted(self, harmonic_set):
+        assert resolve_bound_value(harmonic_set, 0.75) == pytest.approx(0.75)
+
+    def test_invalid_bound_rejected(self, harmonic_set):
+        with pytest.raises(ValueError):
+            resolve_bound_value(harmonic_set, 0.0)
+        with pytest.raises(ValueError):
+            resolve_bound_value(harmonic_set, 1.2)
+
+
+class TestPreAssignCondition:
+    def test_small_lower_priority_utilization_passes(self):
+        assert pre_assign_condition(0.5, 4, 0.8)  # 0.5 <= 3*0.8
+
+    def test_large_lower_priority_utilization_fails(self):
+        assert not pre_assign_condition(3.0, 4, 0.8)  # 3.0 > 2.4
+
+    def test_no_normal_processors_never_passes(self):
+        assert not pre_assign_condition(0.1, 0, 0.8)
+
+    def test_single_processor_requires_zero(self):
+        assert pre_assign_condition(0.0, 1, 0.8)
+        assert not pre_assign_condition(0.01, 1, 0.8)
+
+
+class TestBasicPartitioning:
+    def test_simple_success(self, harmonic_set):
+        result = partition_rmts(harmonic_set, 2)
+        assert result.success
+        assert result.validate() == []
+
+    def test_heavy_task_pre_assigned(self):
+        # One heavy task with little lower-priority load -> pre-assigned.
+        ts = TaskSet.from_pairs([(6, 10), (1, 20), (1, 40)])
+        result = partition_rmts(ts, 2)
+        assert result.success
+        assert result.info["pre_assigned_tids"] == [0]
+        pre = [p for p in result.processors
+               if p.role is ProcessorRole.PRE_ASSIGNED]
+        assert len(pre) == 1
+
+    def test_dedicated_processor_for_over_bound_task(self):
+        # U = 0.95 exceeds any capped bound -> dedicated processor.
+        ts = TaskSet.from_pairs([(9.5, 10), (1, 20), (1, 40)])
+        result = partition_rmts(ts, 2)
+        assert result.success
+        assert result.info["dedicated_tids"] == [0]
+        ded = [p for p in result.processors
+               if p.role is ProcessorRole.DEDICATED]
+        assert len(ded) == 1
+        assert ded[0].full
+
+    def test_dedication_disabled(self):
+        ts = TaskSet.from_pairs([(9.5, 10), (1, 20), (1, 40)])
+        result = partition_rmts(ts, 2, dedicate_over_bound=False)
+        assert result.success
+        assert result.info["dedicated_tids"] == []
+
+    def test_too_many_over_bound_tasks_fail(self):
+        ts = TaskSet.from_pairs([(9, 10), (9, 10), (9, 10)])
+        result = partition_rmts(ts, 2)
+        assert not result.success
+
+    def test_rejects_zero_processors(self, harmonic_set):
+        with pytest.raises(ValueError):
+            partition_rmts(harmonic_set, 0)
+
+
+class TestPreAssignmentMechanics:
+    def test_at_most_m_pre_assigned(self):
+        # Many heavy tasks with tiny lower-priority load.
+        tasks = [(5, 10)] * 6 + [(0.1, 100)]
+        ts = TaskSet.from_pairs(tasks)
+        result = partition_rmts(ts, 3)
+        assert len(result.info["pre_assigned_tids"]) <= 3
+
+    def test_pre_assigned_processor_indices_minimal_first(self):
+        ts = TaskSet.from_pairs([(6, 10), (6, 12), (0.5, 50), (0.5, 100)])
+        result = partition_rmts(ts, 4)
+        pre_procs = [
+            p.index
+            for p in result.processors
+            if p.role is ProcessorRole.PRE_ASSIGNED
+        ]
+        # pre-assignment picks minimal-index normal processors first
+        assert pre_procs == sorted(pre_procs)
+        assert pre_procs and pre_procs[0] == 0
+
+    def test_pre_assigned_task_lowest_priority_on_success(self):
+        gen = TaskSetGenerator(n=8, period_model="loguniform").with_cap(0.8)
+        for seed in range(10):
+            ts = gen.generate(u_norm=0.7, processors=4, seed=seed)
+            result = partition_rmts(ts, 4)
+            if not result.success:
+                continue
+            for proc in result.processors:
+                if proc.role is not ProcessorRole.PRE_ASSIGNED:
+                    continue
+                lowest = max(s.priority for s in proc.subtasks)
+                assert proc.pre_assigned_tid == lowest
+
+    def test_light_set_has_no_pre_assignment(self):
+        gen = TaskSetGenerator(n=12, period_model="loguniform").light()
+        ts = gen.generate(u_norm=0.8, processors=4, seed=1)
+        result = partition_rmts(ts, 4)
+        assert result.info["pre_assigned_tids"] == []
+
+
+class TestUtilizationBoundTheorem:
+    """Any task set with U_M <= min(Lambda, 2Theta/(1+Theta)) partitions."""
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_general_sets_at_capped_ll_bound(self, seed):
+        m, n = 2, 8
+        gen = TaskSetGenerator(n=n, period_model="loguniform")
+        lam = min(ll_bound(n), rmts_bound_cap(n))
+        ts = gen.generate(u_norm=lam, processors=m, seed=seed)
+        result = partition_rmts(ts, m, bound=LiuLaylandBound())
+        assert result.success, "RM-TS bound violated (L&L instantiation)"
+        assert result.validate() == []
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_harmonic_sets_at_cap(self, seed):
+        m, n = 2, 8
+        gen = TaskSetGenerator(
+            n=n, period_model="harmonic", tmin=8.0
+        ).with_cap(0.8)
+        lam = rmts_bound_cap(n)  # HC bound 1.0 capped
+        ts = gen.generate(u_norm=lam, processors=m, seed=seed)
+        result = partition_rmts(ts, m, bound=HarmonicChainBound())
+        assert result.success, "RM-TS bound violated (harmonic instantiation)"
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_heavy_laden_sets_at_bound(self, seed):
+        """Sets with deliberately heavy tasks still meet the bound."""
+        m, n = 2, 4
+        gen = TaskSetGenerator(n=n, period_model="loguniform").with_cap(0.8)
+        lam = min(ll_bound(n), rmts_bound_cap(n))
+        ts = gen.generate(u_norm=lam, processors=m, seed=seed)
+        result = partition_rmts(ts, m)
+        assert result.success
+
+
+class TestPhaseThree:
+    # The heavy task (11,20) pre-assigns (tiny lower-priority load); three
+    # higher-priority tasks overflow the single remaining normal processor,
+    # so the overflow is split and its tail lands on the pre-assigned
+    # processor in phase 3.
+    PHASE3_SET = [(4, 8), (3, 9), (3, 10), (11, 20), (1, 100)]
+
+    def test_remaining_tasks_fill_pre_assigned_processors(self):
+        ts = TaskSet.from_pairs(self.PHASE3_SET)
+        result = partition_rmts(ts, 2)
+        assert result.success
+        assert result.validate() == []
+        pre = [p for p in result.processors
+               if p.role is ProcessorRole.PRE_ASSIGNED]
+        assert len(pre) == 1
+        # phase 3 placed extra work next to the pre-assigned task
+        assert len(pre[0].subtasks) > 1
+
+    def test_phase3_split_produces_valid_tail(self):
+        ts = TaskSet.from_pairs(self.PHASE3_SET)
+        result = partition_rmts(ts, 2)
+        assert result.split_tids() == [0]
+        views = result.split_views()
+        assert views[0].is_consistent()
+
+    def test_phase3_preserves_pre_assigned_lowest_priority(self):
+        ts = TaskSet.from_pairs(self.PHASE3_SET)
+        result = partition_rmts(ts, 2)
+        pre = next(p for p in result.processors
+                   if p.role is ProcessorRole.PRE_ASSIGNED)
+        assert pre.pre_assigned_tid == max(s.priority for s in pre.subtasks)
+
+    def test_phase3_selects_largest_index_first(self):
+        # Two pre-assigned processors; phase-3 overflow must land on the
+        # one with the larger index (hosting the lower-priority task).
+        ts = TaskSet.from_pairs(
+            [(4, 8), (3, 9), (3, 10), (11, 20), (13, 25), (0.5, 100)]
+        )
+        result = partition_rmts(ts, 3)
+        pre = sorted(
+            (p for p in result.processors
+             if p.role is ProcessorRole.PRE_ASSIGNED),
+            key=lambda p: p.index,
+        )
+        if len(pre) < 2:
+            pytest.skip("scenario did not pre-assign two tasks")
+        extra_low = len(pre[0].subtasks) - 1
+        extra_high = len(pre[-1].subtasks) - 1
+        assert extra_high >= extra_low
+
+
+class TestRandomizedValidation:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_partitions_always_validate(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 5))
+        n = int(rng.integers(m, 3 * m))
+        gen = TaskSetGenerator(n=n, period_model="loguniform")
+        ts = gen.generate(
+            u_norm=float(rng.uniform(0.4, 0.95)), processors=m, seed=rng
+        )
+        result = partition_rmts(ts, m)
+        if result.success:
+            assert result.validate() == []
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rmts_accepts_whenever_light_variant_does(self, seed):
+        """On light sets RM-TS degenerates to RM-TS/light behaviour."""
+        from repro.core.rmts_light import partition_rmts_light
+
+        rng = np.random.default_rng(seed)
+        m = 3
+        gen = TaskSetGenerator(n=9, period_model="loguniform").light()
+        ts = gen.generate(
+            u_norm=float(rng.uniform(0.5, 0.9)), processors=m, seed=rng
+        )
+        light = partition_rmts_light(ts, m)
+        full = partition_rmts(ts, m)
+        assert full.success == light.success

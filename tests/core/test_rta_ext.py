@@ -1,0 +1,106 @@
+"""Tests for extended RTA (jitter + blocking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rta import response_time
+from repro.core.rta_ext import is_schedulable_with_blocking, response_time_ext
+from repro.core.task import Subtask, TaskSet
+
+from tests.conftest import integer_taskset_strategy
+
+
+def subs(taskset):
+    return [Subtask.whole(t) for t in taskset]
+
+
+class TestReducesToPlainRTA:
+    @given(integer_taskset_strategy(max_tasks=5, max_period=16))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_extras_match_core(self, ts):
+        s = sorted(subs(ts), key=lambda x: x.priority)
+        costs = np.array([x.cost for x in s])
+        periods = np.array([x.period for x in s])
+        for i in range(len(s)):
+            plain = response_time(costs[i], costs[:i], periods[:i],
+                                  s[i].deadline)
+            ext = response_time_ext(costs[i], costs[:i], periods[:i],
+                                    s[i].deadline)
+            if plain is None:
+                assert ext is None
+            else:
+                assert ext == pytest.approx(plain)
+
+
+class TestBlocking:
+    def test_blocking_adds_to_response(self):
+        r0 = response_time_ext(2.0, np.array([1.0]), np.array([4.0]), 20.0)
+        r1 = response_time_ext(2.0, np.array([1.0]), np.array([4.0]), 20.0,
+                               blocking=1.0)
+        assert r1 == pytest.approx(r0 + 1.0)
+
+    def test_blocking_can_cause_miss(self):
+        assert response_time_ext(
+            2.0, np.array([2.0]), np.array([4.0]), 4.0, blocking=0.5
+        ) is None
+
+    def test_blocking_can_trigger_extra_preemption(self):
+        # (2,5) hp; C=2, B=2: w = 2+2+ceil(w/5)*2 -> w=6 -> ceil(6/5)=2
+        # -> 2+2+4 = 8 -> fixed point 8.
+        r = response_time_ext(2.0, np.array([2.0]), np.array([5.0]), 20.0,
+                              blocking=2.0)
+        assert r == pytest.approx(8.0)
+
+    def test_negative_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_ext(1.0, np.array([]), np.array([]), 5.0,
+                              blocking=-1.0)
+
+
+class TestJitter:
+    def test_hp_jitter_increases_interference(self):
+        # hp (2,5) with J=1: at w=3+..., jitter forces an extra job sooner.
+        r0 = response_time_ext(2.0, np.array([2.0]), np.array([5.0]), 20.0)
+        r1 = response_time_ext(2.0, np.array([2.0]), np.array([5.0]), 20.0,
+                               hp_jitters=np.array([2.0]))
+        assert r1 >= r0
+
+    def test_own_jitter_added_to_response(self):
+        r = response_time_ext(2.0, np.array([]), np.array([]), 10.0,
+                              own_jitter=3.0)
+        assert r == pytest.approx(5.0)
+
+    def test_own_jitter_can_cause_miss(self):
+        assert response_time_ext(2.0, np.array([]), np.array([]), 4.0,
+                                 own_jitter=3.0) is None
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_ext(1.0, np.array([1.0]), np.array([4.0]), 5.0,
+                              hp_jitters=np.array([-1.0]))
+
+
+class TestScheduleWithBlocking:
+    def test_zero_blocking_matches_core(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        s = subs(ts)
+        assert is_schedulable_with_blocking(s, [0.0] * 3)
+
+    def test_blocking_breaks_tight_set(self):
+        # U=1 harmonic: the bottom task finishes exactly at its deadline,
+        # so blocking it by any amount causes a miss.
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        s = subs(ts)
+        assert not is_schedulable_with_blocking(s, [0.0, 0.0, 0.5])
+
+    def test_lowest_priority_blocking_is_free_here(self):
+        # blocking only on the lowest-priority task of a set with slack
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        s = subs(ts)
+        assert is_schedulable_with_blocking(s, [0.0, 0.0, 3.0])
+
+    def test_length_mismatch_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            is_schedulable_with_blocking(subs(ts), [0.0, 0.0])

@@ -1,0 +1,100 @@
+"""Tests for partition JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines.edf_split import partition_edf_split
+from repro.core.rmts import partition_rmts
+from repro.core.serialization import (
+    load_partition,
+    partition_from_dict,
+    partition_to_dict,
+    save_partition,
+)
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+
+
+class TestRoundtrip:
+    def test_simple_partition(self, harmonic_set):
+        part = partition_rmts(harmonic_set, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.algorithm == part.algorithm
+        assert again.success == part.success
+        assert again.validate() == []
+        assert again.total_assigned_utilization == pytest.approx(
+            part.total_assigned_utilization
+        )
+
+    def test_split_structure_preserved(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.split_tids() == part.split_tids()
+        for tid in part.split_tids():
+            assert again.processors_hosting(tid) == part.processors_hosting(tid)
+
+    def test_roles_and_flags_preserved(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        for a, b in zip(part.processors, again.processors):
+            assert a.role == b.role
+            assert a.full == b.full
+            assert a.pre_assigned_tid == b.pre_assigned_tid
+
+    def test_edf_scheduler_preserved(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        part = partition_edf_split(ts, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.scheduler == "edf"
+        assert again.validate() == []
+
+    def test_simulation_identical_after_roundtrip(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        a = simulate_partition(part, horizon=96.0)
+        b = simulate_partition(again, horizon=96.0)
+        assert a.max_response == b.max_response
+        assert a.jobs_completed == b.jobs_completed
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_partitions_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        gen = TaskSetGenerator(n=8, period_model="loguniform")
+        ts = gen.generate(u_norm=float(rng.uniform(0.5, 0.9)),
+                          processors=2, seed=rng)
+        part = partition_rmts(ts, 2)
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.success == part.success
+        assert len(again.processors) == len(part.processors)
+        for a, b in zip(part.processors, again.processors):
+            assert a.utilization == pytest.approx(b.utilization)
+
+
+class TestFileIO:
+    def test_save_and_load(self, harmonic_set, tmp_path):
+        part = partition_rmts(harmonic_set, 2)
+        path = tmp_path / "part.json"
+        save_partition(part, str(path))
+        again = load_partition(str(path))
+        assert again.algorithm == part.algorithm
+        # the file is valid, readable JSON with the format tag
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-partition-v1"
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_partition(str(path))
+
+    def test_info_made_jsonable(self, tight_harmonic_set, tmp_path):
+        part = partition_rmts(tight_harmonic_set, 2)
+        part.info["weird"] = {1: object()}
+        path = tmp_path / "part.json"
+        save_partition(part, str(path))  # must not raise
+        assert load_partition(str(path)).success

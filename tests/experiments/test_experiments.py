@@ -1,0 +1,83 @@
+"""Integration tests: every registered experiment runs in quick mode and
+its paper-claim checks pass.
+
+These are the repository's end-to-end reproduction guarantees: if one of
+these fails, a quantitative statement from the paper stopped holding in
+this implementation.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.base import ExperimentReport, register
+
+
+class TestRegistry:
+    def test_expected_ids_present(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+                "e10", "a1"} <= ids
+
+    def test_lookup_by_id(self):
+        assert get_experiment("e1").experiment_id == "e1"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("e99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("e1", "dup")(lambda quick=True, seed=0: None)
+
+
+class TestReportRendering:
+    def test_render_contains_sections(self):
+        report = ExperimentReport(
+            experiment_id="x", title="T", paper_claim="C"
+        )
+        report.observations.append("obs")
+        report.checks["ok"] = True
+        text = report.render()
+        assert "T" in text and "C" in text and "obs" in text and "PASS" in text
+
+    def test_all_checks_pass_flag(self):
+        report = ExperimentReport(experiment_id="x", title="T", paper_claim="C")
+        report.checks["a"] = True
+        assert report.all_checks_pass
+        report.checks["b"] = False
+        assert not report.all_checks_pass
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    [e.experiment_id for e in all_experiments()],
+)
+def test_experiment_runs_and_claims_hold(experiment_id):
+    """Run each experiment quick-mode; every paper-claim check must pass."""
+    exp = get_experiment(experiment_id)
+    report = exp.run(quick=True, seed=0)
+    assert report.tables, f"{experiment_id} produced no tables"
+    failing = [name for name, ok in report.checks.items() if not ok]
+    assert not failing, f"{experiment_id} failing checks: {failing}"
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "a1" in out
+
+
+def test_cli_runs_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["e6"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_cli_no_args_shows_help(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main([]) == 2

@@ -1,0 +1,55 @@
+"""Deeper tests of experiment outputs: table structure, determinism,
+quick/full plumbing and the benchmark result files."""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("experiment_id", ["e6", "e8", "e10"])
+    def test_same_seed_same_tables(self, experiment_id):
+        exp = get_experiment(experiment_id)
+        a = exp.run(quick=True, seed=3)
+        b = exp.run(quick=True, seed=3)
+        for ta, tb in zip(a.tables, b.tables):
+            assert ta.header == tb.header
+            for ra, rb in zip(ta.rows, tb.rows):
+                for ca, cb in zip(ra, rb):
+                    if isinstance(ca, float):
+                        # timing columns (E10) may differ; values that are
+                        # measurements of the workload must not
+                        continue
+                    assert ca == cb
+
+    def test_different_seed_changes_sampled_results(self):
+        exp = get_experiment("e9")
+        a = exp.run(quick=True, seed=0)
+        b = exp.run(quick=True, seed=99)
+        # mean heavy counts are seed-dependent samples
+        col_a = a.tables[0].column("mean heavy")
+        col_b = b.tables[0].column("mean heavy")
+        assert col_a != col_b
+
+
+class TestTableStructure:
+    def test_every_experiment_emits_nonempty_tables(self):
+        for exp in all_experiments():
+            report = exp.run(quick=True, seed=0)
+            assert report.tables
+            for table in report.tables:
+                assert len(table) > 0, f"{exp.experiment_id}: empty table"
+
+    def test_every_experiment_has_checks_and_claim(self):
+        for exp in all_experiments():
+            report = exp.run(quick=True, seed=0)
+            assert report.paper_claim
+            assert report.checks, f"{exp.experiment_id} has no checks"
+
+    def test_reports_render_and_csv(self):
+        report = get_experiment("e6").run(quick=True, seed=0)
+        text = report.render()
+        assert report.experiment_id in text
+        for table in report.tables:
+            csv = table.to_csv()
+            assert csv.count("\n") == len(table) + 1  # header + rows

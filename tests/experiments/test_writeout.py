@@ -1,0 +1,31 @@
+"""Tests for the experiment CLI's report persistence (--write-dir)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestWriteDir:
+    def test_reports_and_csvs_written(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["e6", "--write-dir", str(out)]) == 0
+        text = (out / "e6.txt").read_text()
+        assert "e6" in text and "PASS" in text
+        csvs = sorted(out.glob("e6_table*.csv"))
+        assert len(csvs) >= 2
+        with open(csvs[0]) as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) > 1  # header + data
+
+    def test_directory_created_if_missing(self, tmp_path, capsys):
+        out = tmp_path / "a" / "b" / "c"
+        assert main(["e8", "--write-dir", str(out)]) == 0
+        assert (out / "e8.txt").exists()
+
+    def test_multiple_experiments_coexist(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["e8", "e6", "--write-dir", str(out)]) == 0
+        assert (out / "e8.txt").exists()
+        assert (out / "e6.txt").exists()

@@ -1,0 +1,80 @@
+"""Determinism properties: the whole pipeline is a pure function of
+(inputs, seed).
+
+Reproducibility is a first-class claim of this repository (every number
+in EXPERIMENTS.md regenerates exactly); these tests pin it at every layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.edf_split import partition_edf_split
+from repro.core.baselines.spa import partition_spa2
+from repro.core.rmts import partition_rmts
+from repro.core.rmts_light import partition_rmts_light
+from repro.sim.engine import simulate_partition
+from repro.sim.proportional import simulate_pfair
+from repro.taskgen.generators import TaskSetGenerator
+from repro.taskgen.workloads import build_workload
+
+
+def partitions_equal(a, b):
+    if a.success != b.success or a.unassigned_tids != b.unassigned_tids:
+        return False
+    for pa, pb in zip(a.processors, b.processors):
+        sa = sorted((s.parent.tid, s.index, s.cost, s.deadline)
+                    for s in pa.subtasks)
+        sb = sorted((s.parent.tid, s.index, s.cost, s.deadline)
+                    for s in pb.subtasks)
+        if sa != sb:
+            return False
+    return True
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [
+        lambda ts, m: partition_rmts(ts, m),
+        lambda ts, m: partition_rmts_light(ts, m),
+        lambda ts, m: partition_spa2(ts, m),
+        lambda ts, m: partition_edf_split(ts, m),
+    ],
+    ids=["rmts", "rmts-light", "spa2", "edf-ws"],
+)
+def test_partitioning_is_deterministic(algorithm):
+    gen = TaskSetGenerator(n=10, period_model="discrete")
+    for seed in range(5):
+        ts = gen.generate(u_norm=0.85, processors=3, seed=seed)
+        a = algorithm(ts, 3)
+        b = algorithm(ts, 3)
+        assert partitions_equal(a, b), seed
+
+
+def test_simulation_is_deterministic():
+    ts = build_workload("robotics", u_norm=0.8, processors=2, seed=0)
+    part = partition_rmts(ts, 2, dedicate_over_bound=False)
+    assert part.success
+    a = simulate_partition(part, horizon=500.0, record_trace=True,
+                           collect_responses=True)
+    b = simulate_partition(part, horizon=500.0, record_trace=True,
+                           collect_responses=True)
+    assert a.max_response == b.max_response
+    assert a.response_samples == b.response_samples
+    assert len(a.trace.intervals) == len(b.trace.intervals)
+
+
+def test_pfair_is_deterministic():
+    ts = build_workload("avionics", u_norm=0.7, processors=2, seed=0)
+    a = simulate_pfair(ts, 2, horizon=200.0, quantum=0.5)
+    b = simulate_pfair(ts, 2, horizon=200.0, quantum=0.5)
+    assert a.jobs_completed == b.jobs_completed
+    assert a.overhead_summary() == b.overhead_summary()
+
+
+def test_experiment_tables_regenerate_exactly():
+    from repro.experiments import get_experiment
+
+    a = get_experiment("a2").run(quick=True, seed=11)
+    b = get_experiment("a2").run(quick=True, seed=11)
+    assert a.tables[0].rows == b.tables[0].rows
+    assert a.checks == b.checks

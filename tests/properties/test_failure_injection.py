@@ -1,0 +1,139 @@
+"""Failure injection: every class of partition corruption must be caught.
+
+``PartitionResult.validate`` is the safety net the rest of the repository
+leans on (tests, experiments, CLI).  These tests corrupt known-good
+partitions in targeted ways and assert the corresponding violation is
+reported — so a silent weakening of the validator cannot slip through.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.partition import PartitionResult, ProcessorState
+from repro.core.rmts import partition_rmts
+from repro.core.task import Subtask, SubtaskKind, Task, TaskSet
+
+
+@pytest.fixture
+def good_partition(tight_harmonic_set):
+    part = partition_rmts(tight_harmonic_set, 2)
+    assert part.success and part.validate() == []
+    return part
+
+
+def rebuild_subtask(sub, **overrides):
+    fields = dict(
+        cost=sub.cost,
+        period=sub.period,
+        deadline=sub.deadline,
+        parent=sub.parent,
+        index=sub.index,
+        kind=sub.kind,
+    )
+    fields.update(overrides)
+    return Subtask(**fields)
+
+
+def find_split_pieces(part):
+    tid = part.split_tids()[0]
+    locs = []
+    for proc in part.processors:
+        for i, sub in enumerate(proc.subtasks):
+            if sub.parent.tid == tid:
+                locs.append((proc, i, sub))
+    return sorted(locs, key=lambda x: x[2].index)
+
+
+class TestCostCorruption:
+    def test_inflated_piece_cost_detected(self, good_partition):
+        locs = find_split_pieces(good_partition)
+        proc, i, sub = locs[0]
+        proc.subtasks[i] = rebuild_subtask(sub, cost=sub.cost + 0.5)
+        errors = good_partition.validate()
+        assert any("inconsistent" in e for e in errors)
+
+    def test_deflated_piece_cost_detected(self, good_partition):
+        locs = find_split_pieces(good_partition)
+        proc, i, sub = locs[-1]
+        proc.subtasks[i] = rebuild_subtask(sub, cost=sub.cost * 0.5)
+        errors = good_partition.validate()
+        assert any("inconsistent" in e for e in errors)
+
+
+class TestDeadlineCorruption:
+    def test_wrong_tail_deadline_detected(self, good_partition):
+        locs = find_split_pieces(good_partition)
+        proc, i, sub = locs[-1]
+        assert sub.kind is SubtaskKind.TAIL
+        proc.subtasks[i] = rebuild_subtask(sub, deadline=sub.period)
+        errors = good_partition.validate()
+        assert any("inconsistent" in e for e in errors)
+
+
+class TestPlacementCorruption:
+    def test_dropped_task_detected(self, good_partition):
+        victim = None
+        for proc in good_partition.processors:
+            for sub in proc.subtasks:
+                if sub.kind is SubtaskKind.WHOLE:
+                    victim = (proc, sub)
+        proc, sub = victim
+        proc.subtasks.remove(sub)
+        errors = good_partition.validate()
+        assert any("unassigned" in e for e in errors)
+
+    def test_duplicate_piece_on_processor_detected(self, good_partition):
+        locs = find_split_pieces(good_partition)
+        proc_a, _, sub_a = locs[0]
+        proc_b, _, sub_b = locs[1]
+        # move the second piece onto the first piece's processor
+        proc_b.subtasks.remove(sub_b)
+        proc_a.subtasks.append(sub_b)
+        errors = good_partition.validate()
+        assert any("multiple pieces" in e for e in errors)
+
+
+class TestScheduleCorruption:
+    def test_overloaded_processor_detected(self, good_partition):
+        proc = good_partition.processors[0]
+        intruder = Task(cost=3.0, period=4.0, tid=999)
+        proc.subtasks.append(Subtask.whole(intruder))
+        errors = good_partition.validate()
+        assert any("RTA" in e for e in errors)
+
+    def test_body_priority_violation_detected(self):
+        # hand-build: a body subtask sharing a processor with a
+        # higher-priority whole task
+        ts = TaskSet.from_pairs([(1, 4), (6, 12)])
+        hi, lo = ts[0], ts[1]
+        p0 = ProcessorState(index=0)
+        p0.add(Subtask.whole(hi))
+        p0.add(Subtask(cost=2, period=12, deadline=12, parent=lo,
+                       index=1, kind=SubtaskKind.BODY))
+        p1 = ProcessorState(index=1)
+        p1.add(Subtask(cost=4, period=12, deadline=10, parent=lo,
+                       index=2, kind=SubtaskKind.TAIL))
+        part = PartitionResult(
+            algorithm="corrupt", taskset=ts, processors=[p0, p1],
+            success=True,
+        )
+        errors = part.validate()
+        assert any("highest-priority" in e for e in errors)
+
+
+class TestSuccessFlagIntegrity:
+    def test_false_success_with_unassigned_detected(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        # claim success while secretly dropping a whole task
+        victim_proc = None
+        for proc in part.processors:
+            for sub in list(proc.subtasks):
+                if sub.kind is SubtaskKind.WHOLE:
+                    proc.subtasks.remove(sub)
+                    victim_proc = proc
+                    break
+            if victim_proc:
+                break
+        assert part.success
+        assert part.validate()  # not silent

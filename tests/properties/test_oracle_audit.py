@@ -1,0 +1,100 @@
+"""Differential audits: every analytical test vs the simulation oracle.
+
+These are the repository's strongest correctness guarantees: on hundreds
+of random integer task sets, the exact analyses must agree with a
+hyperperiod simulation *bit for bit*, and the sufficient tests must never
+be unsafe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import (
+    differential_audit,
+    oracle_schedulable,
+    random_integer_taskset,
+)
+from repro.core.baselines.edf import edf_schedulable
+from repro.core.rta import (
+    hyperbolic_bound_holds,
+    is_schedulable,
+    liu_layland_test_holds,
+)
+from repro.core.task import Subtask, TaskSet
+
+
+def rta_test(ts):
+    return is_schedulable([Subtask.whole(t) for t in ts])
+
+
+def edf_test(ts):
+    return edf_schedulable([Subtask.whole(t) for t in ts])
+
+
+class TestOracle:
+    def test_schedulable_example(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        assert oracle_schedulable(ts) is True
+
+    def test_unschedulable_example(self):
+        ts = TaskSet.from_pairs([(3, 4), (3, 8)])
+        assert oracle_schedulable(ts) is False
+
+    def test_overload_short_circuits(self):
+        ts = TaskSet.from_pairs([(4, 4), (1, 8)])
+        assert oracle_schedulable(ts) is False
+
+    def test_non_integer_returns_none(self):
+        ts = TaskSet.from_pairs([(1, 3.3)])
+        assert oracle_schedulable(ts) is None
+
+    def test_random_generator_respects_budget(self, rng):
+        for _ in range(50):
+            ts = random_integer_taskset(rng)
+            assert ts.total_utilization <= 1.0 + 1e-9
+
+
+class TestExactAnalysesAgreeWithOracle:
+    def test_rta_is_exact(self):
+        """Exact RTA == ground truth on every decidable random set."""
+        audit = differential_audit(rta_test, trials=300, seed=1)
+        assert audit.decided > 200
+        assert audit.clean, [ts.to_dicts() for ts in audit.disagreements[:2]]
+
+    def test_edf_dbf_is_exact(self):
+        """The DBF test == ground truth under EDF dispatching."""
+        audit = differential_audit(
+            edf_test, trials=300, seed=2, scheduler="edf"
+        )
+        assert audit.decided > 200
+        assert audit.clean, [ts.to_dicts() for ts in audit.disagreements[:2]]
+
+
+class TestSufficientTestsAreSafe:
+    def test_ll_test_never_unsafe(self):
+        audit = differential_audit(
+            lambda ts: liu_layland_test_holds([Subtask.whole(t) for t in ts]),
+            trials=300,
+            seed=3,
+            analysis_is_exact=False,
+        )
+        assert audit.clean
+
+    def test_hyperbolic_never_unsafe(self):
+        audit = differential_audit(
+            lambda ts: hyperbolic_bound_holds([Subtask.whole(t) for t in ts]),
+            trials=300,
+            seed=4,
+            analysis_is_exact=False,
+        )
+        assert audit.clean
+
+    def test_deliberately_broken_test_is_caught(self):
+        """The audit harness itself must detect unsafe tests."""
+        audit = differential_audit(
+            lambda ts: True,  # accepts everything
+            trials=300,
+            seed=5,
+            analysis_is_exact=False,
+        )
+        assert not audit.clean

@@ -1,0 +1,113 @@
+"""Stress tests of the paper's main theorems across platform sizes.
+
+Theorem 8 (RM-TS/light) and the RM-TS bound (Section V) are exercised at
+their exact boundary utilizations on random task sets of every flavour the
+bounds cover.  Any failure here is a counterexample to the reproduction's
+correctness (or — more interestingly — to the theorem).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    HarmonicChainBound,
+    LiuLaylandBound,
+    ll_bound,
+    rmts_bound_cap,
+)
+from repro.core.rmts import partition_rmts
+from repro.core.rmts_light import is_light_task_set, partition_rmts_light
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+
+
+class TestTheorem8AcrossPlatforms:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    def test_light_harmonic_full_utilization(self, m):
+        n = 4 * m
+        gen = TaskSetGenerator(n=n, period_model="harmonic", tmin=8.0).light()
+        for seed in range(10):
+            ts = gen.generate(u_norm=1.0, processors=m, seed=seed)
+            assert is_light_task_set(ts)
+            result = partition_rmts_light(ts, m)
+            assert result.success, f"M={m} seed={seed}"
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_light_general_at_ll_bound(self, m):
+        n = 4 * m
+        gen = TaskSetGenerator(n=n, period_model="loguniform").light()
+        for seed in range(10):
+            ts = gen.generate(u_norm=ll_bound(n), processors=m, seed=seed)
+            assert partition_rmts_light(ts, m).success, f"M={m} seed={seed}"
+
+
+class TestRMTSBoundAcrossPlatforms:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_general_at_capped_ll(self, m):
+        n = 3 * m
+        lam = min(ll_bound(n), rmts_bound_cap(n))
+        gen = TaskSetGenerator(n=n, period_model="loguniform")
+        for seed in range(10):
+            ts = gen.generate(u_norm=lam, processors=m, seed=seed)
+            assert partition_rmts(ts, m, bound=LiuLaylandBound()).success, (
+                f"M={m} seed={seed}"
+            )
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_kchain_at_capped_hc_bound(self, k):
+        m, n = 3, 12
+        lam = min(ll_bound(k), rmts_bound_cap(n))
+        gen = TaskSetGenerator(n=n, period_model="kchain", k=k).with_cap(0.9)
+        for seed in range(10):
+            ts = gen.generate(u_norm=lam, processors=m, seed=seed)
+            assert partition_rmts(ts, m, bound=HarmonicChainBound()).success, (
+                f"K={k} seed={seed}"
+            )
+
+
+class TestLemma4EndToEnd:
+    """Partition acceptance (any algorithm) => no deadline miss in
+    simulation, on every flavour of workload."""
+
+    @given(st.integers(0, 30_000))
+    @settings(max_examples=20, deadline=None)
+    def test_accepted_implies_simulates_clean(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 4))
+        model = ["discrete", "harmonic"][int(rng.integers(0, 2))]
+        gen = TaskSetGenerator(n=2 * m + 2, period_model=model, tmin=8.0)
+        u = float(rng.uniform(0.6, 0.95))
+        ts = gen.generate(u_norm=u, processors=m, seed=rng)
+        algo = [partition_rmts, partition_rmts_light][int(rng.integers(0, 2))]
+        part = algo(ts, m)
+        if not part.success:
+            return
+        assert part.validate() == []
+        sim = simulate_partition(part)
+        assert sim.ok, f"miss: {sim.misses[:3]}"
+
+
+class TestBoundTightnessWitnesses:
+    def test_spa1_cannot_do_what_rmts_light_does(self):
+        """A concrete set above Theta(N) that RM-TS/light takes and the
+        threshold baseline provably cannot."""
+        from repro.core.baselines.spa import partition_spa1
+
+        gen = TaskSetGenerator(n=8, period_model="harmonic", tmin=8.0).light()
+        ts = gen.generate(u_norm=0.95, processors=2, seed=0)
+        assert partition_rmts_light(ts, 2).success
+        assert not partition_spa1(ts, 2).success
+
+    def test_partitioned_rm_without_splitting_loses_on_fat_tasks(self):
+        """M+1 tasks of utilization just above 1/2 defeat any non-splitting
+        partitioning on M processors but not the splitting algorithms."""
+        from repro.core.baselines.partitioned import partition_no_split
+        from repro.core.task import TaskSet
+
+        m = 2
+        ts = TaskSet.from_pairs([(5.2, 10), (5.2, 10), (5.2, 10)])
+        assert not partition_no_split(ts, m, admission="rta").success
+        result = partition_rmts(ts, m, dedicate_over_bound=False)
+        assert result.success
+        assert result.split_tids()

@@ -1,0 +1,117 @@
+"""Tests for the simulator extensions: offsets and overhead injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+
+from tests.sim.test_engine import uni_partition
+
+
+class TestOffsets:
+    def test_offsets_shift_releases(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        sim = simulate_partition(
+            uni_partition(ts), horizon=32.0, offsets={0: 2.0},
+            record_trace=True,
+        )
+        assert sim.ok
+        first = min(
+            iv.start for iv in sim.trace.intervals
+            if iv.tid == 0 and iv.job_index == 0
+        )
+        assert first >= 2.0 - 1e-9
+
+    def test_negative_offset_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            simulate_partition(uni_partition(ts), horizon=8.0,
+                               offsets={0: -1.0})
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=15, deadline=None)
+    def test_synchronous_release_is_worst_case(self, seed):
+        """Offsets never create a miss that the synchronous case lacks:
+        if the synchronous simulation is clean, any offset pattern is."""
+        rng = np.random.default_rng(seed)
+        gen = TaskSetGenerator(n=6, period_model="discrete")
+        ts = gen.generate(u_norm=float(rng.uniform(0.6, 0.9)),
+                          processors=2, seed=rng)
+        part = partition_rmts(ts, 2)
+        if not part.success:
+            return
+        sync = simulate_partition(part)
+        assert sync.ok
+        offsets = {t.tid: float(rng.uniform(0, t.period)) for t in ts}
+        shifted = simulate_partition(part, offsets=offsets)
+        assert shifted.ok
+
+    def test_offset_responses_never_worse(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        part = uni_partition(ts)
+        sync = simulate_partition(part, horizon=64.0)
+        # fresh partition object for an independent run
+        shifted = simulate_partition(
+            uni_partition(ts), horizon=64.0, offsets={1: 1.0, 2: 3.0}
+        )
+        for tid, r_sync in sync.max_response.items():
+            r_shift = shifted.max_response.get(tid)
+            if r_shift is not None:
+                assert r_shift <= r_sync + 1e-9
+
+
+class TestOverheads:
+    def test_zero_overhead_is_baseline(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        a = simulate_partition(uni_partition(ts), horizon=48.0)
+        b = simulate_partition(
+            uni_partition(ts), horizon=48.0,
+            preemption_overhead=0.0, migration_overhead=0.0,
+        )
+        assert a.max_response == b.max_response
+
+    def test_preemption_overhead_breaks_saturated_processor(self):
+        # U = 1.0 with preemptions: any overhead causes a miss.
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        sim = simulate_partition(
+            uni_partition(ts), horizon=48.0, preemption_overhead=0.05
+        )
+        assert not sim.ok
+
+    def test_slack_absorbs_small_overhead(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])  # U = 0.5
+        sim = simulate_partition(
+            uni_partition(ts), horizon=48.0, preemption_overhead=0.2
+        )
+        assert sim.ok
+
+    def test_overhead_increases_responses(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 8), (2, 16)])
+        clean = simulate_partition(uni_partition(ts), horizon=48.0)
+        loaded = simulate_partition(
+            uni_partition(ts), horizon=48.0, preemption_overhead=0.2
+        )
+        # the lowest-priority task gets preempted, so it pays
+        assert loaded.max_response[2] >= clean.max_response[2]
+
+    def test_migration_overhead_applies_to_split_tails(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        part = partition_rmts(ts, 2)
+        assert part.split_tids()
+        clean = simulate_partition(part, horizon=96.0)
+        part2 = partition_rmts(ts, 2)
+        loaded = simulate_partition(
+            part2, horizon=96.0, migration_overhead=0.1
+        )
+        split_tid = part.split_tids()[0]
+        assert loaded.max_response[split_tid] > clean.max_response[split_tid] - 1e-9
+
+    def test_negative_overhead_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            simulate_partition(uni_partition(ts), horizon=8.0,
+                               preemption_overhead=-0.1)

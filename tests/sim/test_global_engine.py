@@ -1,0 +1,74 @@
+"""Tests for the global-scheduling simulator and the Dhall effect."""
+
+import pytest
+
+from repro.core.baselines.global_rm import dhall_taskset, rm_us_priority_order
+from repro.core.task import TaskSet
+from repro.sim.global_engine import simulate_global
+
+
+class TestBasics:
+    def test_single_processor_rm(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        sim = simulate_global(ts, 1, horizon=32.0)
+        assert sim.ok
+        assert sim.max_response[1] == pytest.approx(3.0)
+
+    def test_two_processors_run_in_parallel(self):
+        ts = TaskSet.from_pairs([(4, 8), (4, 8)])
+        sim = simulate_global(ts, 2, horizon=16.0)
+        assert sim.ok
+        # both jobs run simultaneously: responses equal costs
+        assert sim.max_response[0] == pytest.approx(4.0)
+        assert sim.max_response[1] == pytest.approx(4.0)
+
+    def test_busy_time_accounts_parallelism(self):
+        ts = TaskSet.from_pairs([(4, 8), (4, 8)])
+        sim = simulate_global(ts, 2, horizon=8.0)
+        assert sim.busy_time == pytest.approx(8.0)
+
+    def test_overload_detected(self):
+        ts = TaskSet.from_pairs([(8, 8), (8, 8), (8, 8)])
+        sim = simulate_global(ts, 2, horizon=16.0)
+        assert not sim.ok
+
+    def test_rejects_bad_args(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            simulate_global(ts, 0, horizon=8.0)
+        with pytest.raises(ValueError):
+            simulate_global(ts, 1, horizon=-1.0)
+
+    def test_priority_order_validated(self):
+        ts = TaskSet.from_pairs([(1, 4), (1, 8)])
+        with pytest.raises(ValueError):
+            simulate_global(ts, 1, horizon=8.0, priority_order=[0])
+
+    def test_stop_on_miss(self):
+        ts = TaskSet.from_pairs([(8, 8), (8, 8), (8, 8)])
+        sim = simulate_global(ts, 2, horizon=100.0, stop_on_miss=True)
+        assert len(sim.misses) >= 1
+
+
+class TestDhallEffect:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_global_rm_misses(self, m):
+        ts = dhall_taskset(m, 0.05)
+        sim = simulate_global(ts, m, horizon=3.0 * 1.05)
+        long_tid = max(t.tid for t in ts)
+        assert any(miss.tid == long_tid for miss in sim.misses)
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_rm_us_priorities_fix_the_witness(self, m):
+        ts = dhall_taskset(m, 0.05)
+        sim = simulate_global(
+            ts, m, horizon=3.0 * 1.05,
+            priority_order=rm_us_priority_order(ts, m),
+        )
+        assert sim.ok
+
+    def test_effect_persists_at_tiny_epsilon(self):
+        ts = dhall_taskset(4, 0.001)
+        assert ts.normalized_utilization(4) < 0.26
+        sim = simulate_global(ts, 4, horizon=2.1)
+        assert not sim.ok

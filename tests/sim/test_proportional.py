@@ -1,0 +1,117 @@
+"""Tests for the Pfair-style quantum scheduler and trace overhead metrics."""
+
+import pytest
+
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+from repro.sim.proportional import simulate_pfair
+from repro.sim.trace import ExecutionInterval, Trace
+
+
+class TestSimulatePfair:
+    def test_schedulable_harmonic_set(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        pf = simulate_pfair(ts, 2, horizon=96.0, quantum=1.0)
+        assert pf.ok
+        assert pf.jobs_completed == 24 + 12 + 6 + 3
+
+    def test_full_utilization_two_processors(self):
+        # EPDF is optimal on M <= 2: U = 2.0 exactly must work with
+        # quantum-aligned parameters.
+        ts = TaskSet.from_pairs([(2, 4), (2, 4), (4, 8), (4, 8)])
+        pf = simulate_pfair(ts, 2, horizon=64.0, quantum=1.0)
+        assert pf.ok
+
+    def test_overload_misses(self):
+        ts = TaskSet.from_pairs([(4, 4), (4, 4), (4, 4)])
+        pf = simulate_pfair(ts, 2, horizon=20.0, quantum=1.0)
+        assert not pf.ok
+
+    def test_trace_invariants_hold(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        pf = simulate_pfair(ts, 2, horizon=64.0, quantum=1.0)
+        assert pf.trace.check_all() == []
+
+    def test_dhall_set_fine_under_pfair(self):
+        """Proportional fairness has no Dhall effect — that's its selling
+        point; the price is preemptions, not utilization."""
+        from repro.core.baselines.global_rm import dhall_taskset
+
+        ts = dhall_taskset(4, 0.05)
+        pf = simulate_pfair(ts, 4, horizon=21.0, quantum=0.05)
+        assert pf.ok
+
+    def test_validates_args(self, harmonic_set):
+        with pytest.raises(ValueError):
+            simulate_pfair(harmonic_set, 0, horizon=10.0)
+        with pytest.raises(ValueError):
+            simulate_pfair(harmonic_set, 2, horizon=10.0, quantum=0.0)
+        with pytest.raises(ValueError):
+            simulate_pfair(harmonic_set, 2, horizon=-1.0)
+
+
+class TestOverheadComparison:
+    def test_pfair_preempts_more_than_rmts(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        part = partition_rmts(ts, 2)
+        sim = simulate_partition(part, horizon=96.0, record_trace=True)
+        pf = simulate_pfair(ts, 2, horizon=96.0, quantum=1.0)
+        assert sim.ok and pf.ok
+        assert pf.trace.preemptions() > sim.trace.preemptions()
+
+    def test_same_busy_time_same_workload(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        part = partition_rmts(ts, 2)
+        sim = simulate_partition(part, horizon=96.0, record_trace=True)
+        pf = simulate_pfair(ts, 2, horizon=96.0, quantum=1.0)
+        a = sim.trace.overhead_summary()
+        b = pf.overhead_summary()
+        assert a["busy_time"] == pytest.approx(b["busy_time"], rel=0.02)
+
+
+class TestTraceOverheadMetrics:
+    def iv(self, proc, tid, start, end, job=0, piece=1):
+        return ExecutionInterval(processor=proc, tid=tid, job_index=job,
+                                 piece_index=piece, start=start, end=end)
+
+    def test_context_switches_counted(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 1))
+        t.record(self.iv(0, 2, 1, 2))
+        t.record(self.iv(0, 1, 2, 3))
+        assert t.context_switches() == 3
+
+    def test_consecutive_same_piece_no_switch(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 1))
+        t.record(self.iv(0, 1, 1, 2))
+        assert t.context_switches() == 1
+
+    def test_preemptions_counted(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 1))   # tau1 starts
+        t.record(self.iv(0, 2, 1, 2))   # preempted by tau2
+        t.record(self.iv(0, 1, 2, 3))   # tau1 resumes -> 1 preemption
+        assert t.preemptions() == 1
+
+    def test_migrations_counted(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 1, piece=1))
+        t.record(self.iv(1, 1, 1, 2, piece=2))  # split handoff
+        assert t.migrations() == 1
+
+    def test_unsplit_jobs_never_migrate(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 1))
+        t.record(self.iv(0, 1, 4, 5, job=1))
+        assert t.migrations() == 0
+
+    def test_summary_keys(self):
+        t = Trace()
+        t.record(self.iv(0, 1, 0, 2))
+        summary = t.overhead_summary()
+        assert summary["busy_time"] == pytest.approx(2.0)
+        assert summary["context_switches"] == 1
+        assert summary["preemptions"] == 0
+        assert summary["migrations"] == 0

@@ -1,0 +1,51 @@
+"""Tests for response-distribution collection."""
+
+import pytest
+
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+
+from tests.sim.test_engine import uni_partition
+
+
+class TestResponseSamples:
+    def test_disabled_by_default(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        sim = simulate_partition(uni_partition(ts), horizon=16.0)
+        assert sim.response_samples is None
+        with pytest.raises(ValueError):
+            sim.response_stats()
+
+    def test_samples_collected_per_task(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        sim = simulate_partition(
+            uni_partition(ts), horizon=32.0, collect_responses=True
+        )
+        assert len(sim.response_samples[0]) == 8
+        assert len(sim.response_samples[1]) == 4
+
+    def test_stats_consistent_with_max(self):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        part = partition_rmts(ts, 2)
+        sim = simulate_partition(part, horizon=96.0, collect_responses=True)
+        stats = sim.response_stats()
+        for tid, s in stats.items():
+            assert s["max"] == pytest.approx(sim.max_response[tid])
+            assert s["min"] <= s["mean"] <= s["max"] + 1e-12
+            assert s["min"] <= s["p95"] <= s["max"] + 1e-12
+
+    def test_offsets_reduce_observed_responses(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        sync = simulate_partition(
+            uni_partition(ts), horizon=64.0, collect_responses=True
+        )
+        desync = simulate_partition(
+            uni_partition(ts), horizon=64.0, collect_responses=True,
+            offsets={1: 2.0, 2: 3.0},
+        )
+        # mean response of the lowest-priority task improves with offsets
+        assert (
+            desync.response_stats()[2]["mean"]
+            <= sync.response_stats()[2]["mean"] + 1e-9
+        )

@@ -1,0 +1,75 @@
+"""Tests for the sporadic release model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+from repro.taskgen.generators import TaskSetGenerator
+
+from tests.sim.test_engine import uni_partition
+
+
+class TestSporadicReleases:
+    def test_fewer_jobs_than_periodic(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        periodic = simulate_partition(uni_partition(ts), horizon=200.0)
+        sporadic = simulate_partition(
+            uni_partition(ts), horizon=200.0,
+            release_model="sporadic", sporadic_slack=1.0,
+            rng=np.random.default_rng(1),
+        )
+        assert sporadic.jobs_completed < periodic.jobs_completed
+
+    def test_zero_slack_equals_periodic(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        periodic = simulate_partition(uni_partition(ts), horizon=96.0)
+        degenerate = simulate_partition(
+            uni_partition(ts), horizon=96.0,
+            release_model="sporadic", sporadic_slack=0.0,
+            rng=np.random.default_rng(1),
+        )
+        assert degenerate.jobs_completed == periodic.jobs_completed
+        assert degenerate.max_response == pytest.approx(periodic.max_response)
+
+    def test_deterministic_given_rng(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        a = simulate_partition(
+            uni_partition(ts), horizon=100.0, release_model="sporadic",
+            rng=np.random.default_rng(7),
+        )
+        b = simulate_partition(
+            uni_partition(ts), horizon=100.0, release_model="sporadic",
+            rng=np.random.default_rng(7),
+        )
+        assert a.max_response == b.max_response
+
+    def test_invalid_model_rejected(self):
+        ts = TaskSet.from_pairs([(1, 4)])
+        with pytest.raises(ValueError):
+            simulate_partition(uni_partition(ts), horizon=8.0,
+                               release_model="bursty")
+        with pytest.raises(ValueError):
+            simulate_partition(uni_partition(ts), horizon=8.0,
+                               release_model="sporadic", sporadic_slack=-1.0)
+
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=12, deadline=None)
+    def test_sporadic_never_breaks_accepted_partitions(self, seed):
+        """The sporadic model only stretches inter-release times, which
+        can only reduce interference: accepted partitions stay clean."""
+        rng = np.random.default_rng(seed)
+        m = 2
+        gen = TaskSetGenerator(n=6, period_model="discrete")
+        ts = gen.generate(u_norm=float(rng.uniform(0.7, 0.92)),
+                          processors=m, seed=rng)
+        part = partition_rmts(ts, m)
+        if not part.success:
+            return
+        sim = simulate_partition(
+            part, release_model="sporadic", sporadic_slack=0.7,
+            rng=np.random.default_rng(seed + 1),
+        )
+        assert sim.ok, sim.misses[:3]

@@ -1,0 +1,101 @@
+"""Unit tests for execution traces and their invariant checks."""
+
+import pytest
+
+from repro.sim.trace import ExecutionInterval, Trace
+
+
+def iv(proc, tid, start, end, job=0, piece=1):
+    return ExecutionInterval(
+        processor=proc, tid=tid, job_index=job, piece_index=piece,
+        start=start, end=end,
+    )
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 1.0))
+        assert len(t) == 1
+
+    def test_zero_length_intervals_dropped(self):
+        t = Trace()
+        t.record(iv(0, 1, 1.0, 1.0))
+        assert len(t) == 0
+
+    def test_negative_interval_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.record(iv(0, 1, 2.0, 1.0))
+
+
+class TestQueries:
+    def test_by_processor_sorted(self):
+        t = Trace()
+        t.record(iv(0, 1, 5.0, 6.0))
+        t.record(iv(0, 2, 0.0, 1.0))
+        t.record(iv(1, 1, 2.0, 3.0))
+        groups = t.by_processor()
+        assert [i.start for i in groups[0]] == [0.0, 5.0]
+        assert len(groups[1]) == 1
+
+    def test_busy_time(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 2.0))
+        t.record(iv(0, 2, 3.0, 4.0))
+        assert t.busy_time(0) == pytest.approx(3.0)
+        assert t.busy_time(1) == 0.0
+
+    def test_executed_per_job(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 2.0, job=0))
+        t.record(iv(1, 1, 3.0, 4.0, job=0, piece=2))
+        assert t.executed_per_job()[(1, 0)] == pytest.approx(3.0)
+
+
+class TestInvariantChecks:
+    def test_clean_trace_passes(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 1.0))
+        t.record(iv(0, 2, 1.0, 2.0))
+        t.record(iv(1, 3, 0.5, 1.5))
+        assert t.check_all() == []
+
+    def test_processor_overlap_detected(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 2.0))
+        t.record(iv(0, 2, 1.0, 3.0))
+        errors = t.check_processor_exclusivity()
+        assert errors and "overlap" in errors[0]
+
+    def test_intra_task_parallelism_detected(self):
+        t = Trace()
+        t.record(iv(0, 7, 0.0, 2.0, piece=1))
+        t.record(iv(1, 7, 1.0, 3.0, piece=2))
+        errors = t.check_no_intra_task_parallelism()
+        assert errors
+
+    def test_piece_order_violation_detected(self):
+        t = Trace()
+        t.record(iv(0, 7, 2.0, 3.0, piece=1))
+        t.record(iv(1, 7, 0.0, 1.0, piece=2))
+        errors = t.check_piece_order()
+        assert errors and "piece" in errors[0]
+
+    def test_adjacent_intervals_not_overlap(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 1.0))
+        t.record(iv(0, 2, 1.0, 2.0))
+        assert t.check_processor_exclusivity() == []
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "empty" in Trace().gantt_text()
+
+    def test_rows_per_processor(self):
+        t = Trace()
+        t.record(iv(0, 1, 0.0, 1.0))
+        t.record(iv(1, 2, 0.0, 0.5))
+        text = t.gantt_text()
+        assert "P0" in text and "P1" in text

@@ -1,0 +1,46 @@
+"""Tests for trace CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.rmts import partition_rmts
+from repro.core.task import TaskSet
+from repro.sim.engine import simulate_partition
+from repro.sim.trace import ExecutionInterval, Trace
+
+
+class TestTraceCsv:
+    def test_header_and_rows(self):
+        t = Trace()
+        t.record(ExecutionInterval(processor=0, tid=1, job_index=0,
+                                   piece_index=1, start=0.0, end=2.0))
+        rows = list(csv.reader(io.StringIO(t.to_csv())))
+        assert rows[0] == ["processor", "tid", "job_index", "piece_index",
+                           "start", "end"]
+        assert rows[1][:2] == ["0", "1"]
+
+    def test_sorted_by_start(self):
+        t = Trace()
+        t.record(ExecutionInterval(processor=0, tid=1, job_index=0,
+                                   piece_index=1, start=5.0, end=6.0))
+        t.record(ExecutionInterval(processor=1, tid=2, job_index=0,
+                                   piece_index=1, start=1.0, end=2.0))
+        rows = list(csv.reader(io.StringIO(t.to_csv())))
+        starts = [float(r[4]) for r in rows[1:]]
+        assert starts == sorted(starts)
+
+    def test_real_trace_roundtrips_busy_time(self, tmp_path):
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        part = partition_rmts(ts, 2)
+        sim = simulate_partition(part, horizon=32.0, record_trace=True)
+        path = tmp_path / "trace.csv"
+        sim.trace.write_csv(str(path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        total = sum(float(r["end"]) - float(r["start"]) for r in rows)
+        busy = sum(
+            sim.trace.busy_time(p.index) for p in part.processors
+        )
+        assert total == pytest.approx(busy)

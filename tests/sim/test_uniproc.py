@@ -1,0 +1,48 @@
+"""Tests for the uniprocessor simulation wrappers."""
+
+import pytest
+
+from repro.core.task import Subtask, SubtaskKind, Task, TaskSet
+from repro.sim.uniproc import simulate_subtasks, simulate_uniprocessor
+
+
+class TestSimulateUniprocessor:
+    def test_schedulable_set(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        sim = simulate_uniprocessor(ts)
+        assert sim.ok
+
+    def test_liu_layland_boundary_set(self):
+        # Classic 2-task worst case: U = 2(sqrt(2)-1) ~ 0.828 is the bound;
+        # this set at U ~ 0.833 > bound with critical periods misses.
+        ts = TaskSet.from_pairs([(2.5, 5), (3.5, 7)])
+        sim = simulate_uniprocessor(ts, horizon=35.0)
+        assert not sim.ok
+
+    def test_trace_recorded(self):
+        ts = TaskSet.from_pairs([(1, 4), (2, 8)])
+        sim = simulate_uniprocessor(ts, record_trace=True)
+        assert sim.trace is not None
+        assert sim.trace.check_all() == []
+
+    def test_full_harmonic_utilization(self):
+        ts = TaskSet.from_pairs([(2, 4), (2, 8), (4, 16)])
+        sim = simulate_uniprocessor(ts)
+        assert sim.ok
+        # the processor is 100% busy over the hyperperiod
+        sim2 = simulate_uniprocessor(ts, horizon=16.0, record_trace=True)
+        assert sim2.trace.busy_time(0) == pytest.approx(16.0)
+
+
+class TestSimulateSubtasks:
+    def test_constrained_deadline_subtask(self):
+        t0 = Task(cost=2, period=4, tid=0)
+        t1 = Task(cost=2, period=8, tid=1)
+        tail = Subtask(cost=2, period=8, deadline=4, parent=t1,
+                       index=2, kind=SubtaskKind.TAIL)
+        ts = TaskSet.from_pairs([(2, 4), (2, 8)])
+        sim = simulate_subtasks([Subtask.whole(t0), tail], ts, horizon=32.0)
+        # job deadline (release + T) is still met, even though the
+        # synthetic deadline is tighter than the response.
+        assert sim.ok
+        assert sim.max_piece_response[(1, 2)] == pytest.approx(4.0)

@@ -1,0 +1,96 @@
+"""Tests for the period generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import harmonic_chain_count
+from repro.taskgen.periods import (
+    discrete_periods,
+    harmonic_periods,
+    k_chain_periods,
+    loguniform_periods,
+    uniform_periods,
+)
+
+
+class TestContinuousPeriods:
+    def test_loguniform_range(self, rng):
+        p = loguniform_periods(200, rng, tmin=10, tmax=1000)
+        assert p.min() >= 10 and p.max() <= 1000
+
+    def test_loguniform_density_per_decade(self):
+        """Log-uniform: roughly equal mass in [10,100) and [100,1000]."""
+        rng = np.random.default_rng(5)
+        p = loguniform_periods(20_000, rng, tmin=10, tmax=1000)
+        low = np.sum(p < 100) / p.size
+        assert low == pytest.approx(0.5, abs=0.02)
+
+    def test_uniform_range(self, rng):
+        p = uniform_periods(100, rng, tmin=5, tmax=50)
+        assert p.min() >= 5 and p.max() <= 50
+
+    def test_bad_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            loguniform_periods(5, rng, tmin=100, tmax=10)
+        with pytest.raises(ValueError):
+            uniform_periods(5, rng, tmin=0, tmax=10)
+
+
+class TestDiscretePeriods:
+    def test_values_from_menu(self, rng):
+        menu = (10.0, 20.0, 40.0)
+        p = discrete_periods(50, rng, menu=menu)
+        assert set(np.unique(p)).issubset(set(menu))
+
+    def test_empty_menu_rejected(self, rng):
+        with pytest.raises(ValueError):
+            discrete_periods(5, rng, menu=())
+
+
+class TestHarmonicPeriods:
+    @given(st.integers(0, 10_000), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_always_single_chain(self, seed, n):
+        p = harmonic_periods(n, np.random.default_rng(seed))
+        assert harmonic_chain_count(p) == 1
+
+    def test_pairwise_divisibility(self, rng):
+        p = np.sort(harmonic_periods(12, rng))
+        for a, b in zip(p, p[1:]):
+            ratio = b / a
+            assert abs(ratio - round(ratio)) < 1e-9
+
+    def test_ratio_cap_respected(self, rng):
+        p = harmonic_periods(30, rng, base=10.0, max_ratio=16.0)
+        assert p.max() / p.min() <= 16.0 + 1e-9
+
+    def test_bad_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            harmonic_periods(5, rng, base=0.0)
+        with pytest.raises(ValueError):
+            harmonic_periods(5, rng, max_factor=0)
+
+
+class TestKChainPeriods:
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_chain_count(self, k, seed):
+        p = k_chain_periods(k + 5, k, np.random.default_rng(seed))
+        assert harmonic_chain_count(p) == k
+
+    def test_sizes_balanced(self, rng):
+        p = k_chain_periods(10, 2, rng)
+        assert p.size == 10
+
+    def test_k_exceeding_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            k_chain_periods(2, 3, rng)
+
+    def test_k_zero_rejected(self, rng):
+        with pytest.raises(ValueError):
+            k_chain_periods(5, 0, rng)
+
+    def test_large_k_unsupported(self, rng):
+        with pytest.raises(ValueError):
+            k_chain_periods(30, 20, rng)

@@ -1,0 +1,76 @@
+"""Tests for the RandFixedSum port."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgen.randfixedsum import randfixedsum, randfixedsum_utilizations
+
+
+class TestRandFixedSum:
+    def test_shape_and_sum(self, rng):
+        x = randfixedsum(6, 2.5, rng, m=7)
+        assert x.shape == (7, 6)
+        assert x.sum(axis=1) == pytest.approx([2.5] * 7)
+
+    def test_unit_cube_bounds(self, rng):
+        x = randfixedsum(8, 5.5, rng, m=20)
+        assert x.min() >= -1e-12
+        assert x.max() <= 1.0 + 1e-12
+
+    def test_single_component(self, rng):
+        assert randfixedsum(1, 0.4, rng)[0] == pytest.approx([0.4])
+
+    def test_extreme_sums(self, rng):
+        assert randfixedsum(4, 0.0, rng)[0] == pytest.approx([0, 0, 0, 0])
+        assert randfixedsum(4, 4.0, rng)[0] == pytest.approx([1, 1, 1, 1])
+
+    def test_rejects_out_of_range_sum(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum(3, 3.5, rng)
+        with pytest.raises(ValueError):
+            randfixedsum(3, -0.1, rng)
+
+    def test_rejects_zero_n(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum(0, 0.0, rng)
+
+    @given(
+        st.integers(min_value=2, max_value=15),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_and_bounds_property(self, n, frac, seed):
+        s = frac * n
+        x = randfixedsum(n, s, np.random.default_rng(seed), m=2)
+        assert x.sum(axis=1) == pytest.approx([s, s], rel=1e-9)
+        assert x.min() >= -1e-9
+        assert x.max() <= 1 + 1e-9
+
+    def test_components_exchangeable(self):
+        """After the per-sample shuffle, component means are equal."""
+        rng = np.random.default_rng(11)
+        x = randfixedsum(4, 1.8, rng, m=4000)
+        means = x.mean(axis=0)
+        assert means == pytest.approx([0.45] * 4, abs=0.02)
+
+    def test_tight_sum_no_rejection(self, rng):
+        """The regime where UUniFast-discard degenerates works instantly."""
+        x = randfixedsum(12, 11.0, rng, m=5)
+        assert x.sum(axis=1) == pytest.approx([11.0] * 5)
+
+
+class TestRandFixedSumUtilizations:
+    def test_cap_respected(self, rng):
+        u = randfixedsum_utilizations(10, 3.8, rng, max_util=0.41)
+        assert u.max() <= 0.41 + 1e-9
+        assert u.sum() == pytest.approx(3.8)
+
+    def test_infeasible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum_utilizations(4, 3.0, rng, max_util=0.5)
+
+    def test_bad_cap_rejected(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum_utilizations(4, 1.0, rng, max_util=0.0)

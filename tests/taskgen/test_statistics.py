@@ -1,0 +1,84 @@
+"""Statistical properties of the workload generators.
+
+Evaluation conclusions are only as good as the generators: biased samples
+could fake an acceptance-ratio advantage.  These tests check distributional
+properties with scipy (KS tests, moment checks) at sample sizes where the
+statistics are decisive but cheap.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.taskgen.periods import loguniform_periods, uniform_periods
+from repro.taskgen.randfixedsum import randfixedsum
+from repro.taskgen.uunifast import uunifast
+
+
+SEED = 20260706
+
+
+class TestUUniFastDistribution:
+    def test_marginal_matches_beta(self):
+        """For UUniFast with total s, each (exchangeable) component's
+        marginal is s * Beta(1, n-1); check via KS against that CDF."""
+        n, total, samples = 5, 2.0, 3000
+        rng = np.random.default_rng(SEED)
+        draws = np.array([uunifast(n, total, rng) for _ in range(samples)])
+        # components are exchangeable only in distribution; pool a fixed
+        # column to avoid selection effects
+        column = draws[:, 2] / total
+        ks = stats.kstest(column, stats.beta(1, n - 1).cdf)
+        assert ks.pvalue > 1e-3, ks
+
+    def test_component_means_equal(self):
+        n, total = 6, 3.0
+        rng = np.random.default_rng(SEED)
+        draws = np.array([uunifast(n, total, rng) for _ in range(4000)])
+        means = draws.mean(axis=0)
+        assert np.allclose(means, total / n, atol=0.03)
+
+
+class TestRandFixedSumDistribution:
+    def test_marginals_match_uunifast_in_unconstrained_regime(self):
+        """With the cap far from binding, RandFixedSum samples the same
+        simplex as UUniFast; compare a marginal via two-sample KS."""
+        n, total, samples = 5, 1.5, 2500
+        rng = np.random.default_rng(SEED)
+        rfs = randfixedsum(n, total, rng, m=samples)[:, 1]
+        uuf = np.array([uunifast(n, total, rng)[1] for _ in range(samples)])
+        ks = stats.ks_2samp(rfs, uuf)
+        assert ks.pvalue > 1e-3, ks
+
+    def test_variance_shrinks_when_cap_binds(self):
+        """Near the n*cap ceiling every component is forced toward the
+        cap: variance must be far below the unconstrained regime's."""
+        n, samples = 6, 1500
+        rng = np.random.default_rng(SEED)
+        loose = randfixedsum(n, 1.0, rng, m=samples)
+        tight = randfixedsum(n, 5.7, rng, m=samples)  # near n = 6
+        assert tight.std() < loose.std()
+
+
+class TestPeriodDistributions:
+    def test_loguniform_ks(self):
+        rng = np.random.default_rng(SEED)
+        p = loguniform_periods(4000, rng, tmin=10, tmax=1000)
+        logs = np.log(p)
+        ks = stats.kstest(
+            logs, stats.uniform(np.log(10), np.log(1000) - np.log(10)).cdf
+        )
+        assert ks.pvalue > 1e-3, ks
+
+    def test_uniform_ks(self):
+        rng = np.random.default_rng(SEED)
+        p = uniform_periods(4000, rng, tmin=10, tmax=1000)
+        ks = stats.kstest(p, stats.uniform(10, 990).cdf)
+        assert ks.pvalue > 1e-3, ks
+
+    def test_loguniform_vs_uniform_medians_differ(self):
+        rng = np.random.default_rng(SEED)
+        lu = np.median(loguniform_periods(4000, rng, tmin=10, tmax=1000))
+        un = np.median(uniform_periods(4000, rng, tmin=10, tmax=1000))
+        assert lu == pytest.approx(100.0, rel=0.15)   # sqrt(10*1000)
+        assert un == pytest.approx(505.0, rel=0.15)

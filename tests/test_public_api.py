@@ -1,0 +1,65 @@
+"""The public API surface: imports, exports and the README quickstart."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.task",
+            "repro.core.rta",
+            "repro.core.bounds",
+            "repro.core.partition",
+            "repro.core.maxsplit",
+            "repro.core.admission",
+            "repro.core.assign",
+            "repro.core.rmts",
+            "repro.core.rmts_light",
+            "repro.core.baselines",
+            "repro.sim",
+            "repro.taskgen",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_submodules_import(self, module):
+        mod = importlib.import_module(module)
+        if hasattr(mod, "__all__"):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestQuickstart:
+    def test_readme_quickstart(self):
+        """The exact flow shown in the package docstring / README."""
+        from repro import TaskSet, partition_rmts, HarmonicChainBound
+
+        ts = TaskSet.from_pairs([(1, 4), (2, 8), (6, 16), (8, 32)])
+        result = partition_rmts(ts, processors=2, bound=HarmonicChainBound())
+        assert result.success
+
+    def test_full_pipeline(self):
+        """generate -> bound -> partition -> simulate, via public names."""
+        from repro import best_bound_value, partition_rmts
+        from repro.sim import simulate_partition
+        from repro.taskgen import TaskSetGenerator
+
+        gen = TaskSetGenerator(n=8, period_model="harmonic", tmin=8.0).light()
+        ts = gen.generate(u_norm=0.9, processors=2, seed=0)
+        assert best_bound_value(ts) == pytest.approx(1.0)
+        part = partition_rmts(ts, 2)
+        assert part.success
+        assert simulate_partition(part).ok

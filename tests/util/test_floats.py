@@ -1,0 +1,116 @@
+"""Unit tests for the shared float-comparison policy."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.floats import (
+    EPS,
+    approx_ge,
+    approx_gt,
+    approx_le,
+    approx_lt,
+    is_close,
+    is_integer_multiple,
+    safe_ceil,
+)
+
+
+class TestIsClose:
+    def test_equal_values(self):
+        assert is_close(1.0, 1.0)
+
+    def test_within_absolute_tolerance(self):
+        assert is_close(0.0, EPS / 2)
+
+    def test_within_relative_tolerance(self):
+        assert is_close(1e12, 1e12 * (1 + 1e-10))
+
+    def test_clearly_different(self):
+        assert not is_close(1.0, 1.001)
+
+    def test_sign_matters(self):
+        assert not is_close(1.0, -1.0)
+
+
+class TestApproxComparisons:
+    def test_le_strict(self):
+        assert approx_le(1.0, 2.0)
+
+    def test_le_boundary(self):
+        assert approx_le(1.0 + EPS / 2, 1.0)
+
+    def test_le_violated(self):
+        assert not approx_le(1.01, 1.0)
+
+    def test_ge_strict(self):
+        assert approx_ge(2.0, 1.0)
+
+    def test_ge_boundary(self):
+        assert approx_ge(1.0 - EPS / 2, 1.0)
+
+    def test_lt_excludes_boundary(self):
+        assert not approx_lt(1.0 - EPS / 2, 1.0)
+
+    def test_lt_holds_when_clearly_less(self):
+        assert approx_lt(0.9, 1.0)
+
+    def test_gt_excludes_boundary(self):
+        assert not approx_gt(1.0 + EPS / 2, 1.0)
+
+    def test_gt_holds_when_clearly_greater(self):
+        assert approx_gt(1.1, 1.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_le_and_gt_partition_the_line(self, x):
+        assert approx_le(x, 0.0) != approx_gt(x, 0.0)
+
+
+class TestIsIntegerMultiple:
+    def test_exact_multiple(self):
+        assert is_integer_multiple(4.0, 12.0)
+
+    def test_equal_periods(self):
+        assert is_integer_multiple(5.0, 5.0)
+
+    def test_non_multiple(self):
+        assert not is_integer_multiple(4.0, 10.0)
+
+    def test_smaller_than_divisor(self):
+        assert not is_integer_multiple(10.0, 4.0)
+
+    def test_float_noise_tolerated(self):
+        base = 0.1
+        assert is_integer_multiple(base, base * 3 * (1 + 1e-9))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            is_integer_multiple(0.0, 1.0)
+        with pytest.raises(ValueError):
+            is_integer_multiple(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_constructed_multiples_always_pass(self, base, k):
+        assert is_integer_multiple(base, base * k)
+
+
+class TestSafeCeil:
+    def test_plain_ceiling(self):
+        assert safe_ceil(2.3) == 3
+
+    def test_integer_input(self):
+        assert safe_ceil(4.0) == 4
+
+    def test_epsilon_above_integer_rounds_down(self):
+        assert safe_ceil(3.0 + 1e-12) == 3
+
+    def test_clearly_above_integer_rounds_up(self):
+        assert safe_ceil(3.01) == 4
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_never_below_floor(self, x):
+        assert safe_ceil(x) >= math.floor(x)

@@ -1,0 +1,64 @@
+"""Unit tests for the experiment table helper."""
+
+import pytest
+
+from repro._util.tables import Table
+
+
+class TestTableConstruction:
+    def test_requires_header(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_len_counts_rows(self):
+        t = Table(["a"])
+        t.add_row([1])
+        t.add_row([2])
+        assert len(t) == 2
+
+
+class TestColumnAccess:
+    def test_column_by_name(self):
+        t = Table(["x", "y"])
+        t.add_row([1, 2])
+        t.add_row([3, 4])
+        assert t.column("y") == [2, 4]
+
+    def test_unknown_column_raises(self):
+        t = Table(["x"])
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+
+class TestRendering:
+    def test_text_contains_all_cells(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["alpha", 0.5])
+        text = t.to_text()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "0.5000" in text
+
+    def test_floats_formatted_to_four_places(self):
+        t = Table(["v"])
+        t.add_row([1 / 3])
+        assert "0.3333" in t.to_text()
+
+    def test_csv_roundtrips_header_and_rows(self):
+        t = Table(["a", "b"])
+        t.add_row([1, "x"])
+        lines = t.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_write_csv(self, tmp_path):
+        t = Table(["a"])
+        t.add_row([7])
+        path = tmp_path / "out.csv"
+        t.write_csv(str(path))
+        assert path.read_text().startswith("a")

@@ -1,0 +1,58 @@
+"""Unit tests for argument-validation helpers."""
+
+import pytest
+
+from repro._util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+
+class TestCheckInRange:
+    def test_both_bounds(self):
+        assert check_in_range("v", 5, 0, 10) == 5
+
+    def test_low_only(self):
+        assert check_in_range("v", 5, low=0) == 5
+
+    def test_violates_low(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_in_range("v", -1, low=0)
+
+    def test_violates_high(self):
+        with pytest.raises(ValueError, match="<= 10"):
+            check_in_range("v", 11, high=10)
