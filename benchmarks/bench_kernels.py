@@ -14,8 +14,9 @@ from repro.core.bounds import harmonic_chain_count
 from repro.core.partition import PendingPiece, ProcessorState
 from repro.core.rmts import partition_rmts
 from repro.core.rmts_light import partition_rmts_light
-from repro.core.rta import is_schedulable
+from repro.core.rta import RTAContext, is_schedulable
 from repro.core.task import Subtask, Task
+from repro.perf import use_incremental_rta
 from repro.sim.engine import simulate_partition
 from repro.taskgen.generators import TaskSetGenerator
 from repro.taskgen.randfixedsum import randfixedsum
@@ -45,6 +46,34 @@ def test_maxsplit_points(benchmark, loaded_subtasks):
 def test_maxsplit_binary(benchmark, loaded_subtasks):
     piece = PendingPiece.of(Task(cost=300.0, period=900.0, tid=10_000))
     benchmark(max_split_binary, loaded_subtasks, piece)
+
+
+def test_admission_legacy_rebuild(benchmark, loaded_subtasks):
+    """Seed-style admission: rebuild + re-sort arrays for every probe."""
+    candidate = Subtask.whole(Task(cost=40.0, period=800.0, tid=10_000))
+    proc = ProcessorState(index=0)
+    for sub in loaded_subtasks:
+        proc.add(sub)
+    with use_incremental_rta(False):
+        benchmark(proc.schedulable_with, candidate)
+
+
+def test_admission_incremental_context(benchmark, loaded_subtasks):
+    """Cached-context admission: prefix reuse + warm-started fixed points."""
+    candidate = Subtask.whole(Task(cost=40.0, period=800.0, tid=10_000))
+    proc = ProcessorState(index=0)
+    for sub in loaded_subtasks:
+        proc.add(sub)
+    proc.rta_context()  # build once; probes must not rebuild it
+    with use_incremental_rta(True):
+        benchmark(proc.schedulable_with, candidate)
+
+
+def test_maxsplit_points_prefix_context(benchmark, loaded_subtasks):
+    """MaxSplit with the existing-set prefix analyzed once per search."""
+    piece = PendingPiece.of(Task(cost=300.0, period=900.0, tid=10_000))
+    context = RTAContext(sorted(loaded_subtasks, key=lambda s: s.priority))
+    benchmark(max_split_points, loaded_subtasks, piece, context=context)
 
 
 def test_partition_rmts(benchmark, workload):

@@ -14,13 +14,14 @@ differences are algorithmic, never sampling noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util.tables import Table
 from repro.core.task import TaskSet
-from repro.taskgen.generators import TaskSetGenerator, make_rng
+from repro.runner import cell_rng, chunked_map
+from repro.taskgen.generators import TaskSetGenerator
 
 __all__ = ["AcceptanceTest", "acceptance_ratio", "acceptance_sweep", "SweepResult"]
 
@@ -76,6 +77,23 @@ class SweepResult:
         return float(np.trapezoid(self.curves[name], self.u_grid))
 
 
+def _sweep_cell(payload, cell: Tuple[int, float, int]) -> Tuple[bool, ...]:
+    """Worker for one (level, sample) cell: every algorithm, one task set.
+
+    Module-level so the parallel runner can dispatch it by name; the task
+    set is built *inside* the worker from the cell's own seed, so nothing
+    heavier than three numbers crosses a process boundary.
+    """
+    generator, tests, processors, seed = payload
+    level_idx, u_norm, sample_idx = cell
+    taskset = generator.generate(
+        u_norm=u_norm,
+        processors=processors,
+        seed=cell_rng(seed, level_idx, sample_idx),
+    )
+    return tuple(bool(test(taskset, processors)) for test in tests)
+
+
 def acceptance_sweep(
     algorithms: Mapping[str, AcceptanceTest],
     generator: TaskSetGenerator,
@@ -84,28 +102,35 @@ def acceptance_sweep(
     u_grid: Sequence[float],
     samples: int = 100,
     seed: int = 0,
+    jobs: int = 1,
 ) -> SweepResult:
     """Acceptance-ratio curves for several algorithms on shared workloads.
 
     For each utilization level, *samples* task sets are generated from
-    *generator* (seeded deterministically per level) and every algorithm is
-    evaluated on the **same** sets.
+    *generator* and every algorithm is evaluated on the **same** sets.
+    Each (level, sample) cell is seeded independently via
+    :func:`repro.runner.cell_rng`, so the result is a pure function of
+    ``seed`` — ``jobs > 1`` fans the cells out over a process pool and
+    produces bit-identical curves to the serial path.
     """
     if not algorithms:
         raise ValueError("need at least one algorithm")
     if samples < 1:
         raise ValueError("need at least one sample per level")
-    curves: Dict[str, List[float]] = {name: [] for name in algorithms}
-    for level_idx, u_norm in enumerate(u_grid):
-        rng = make_rng(seed + 7919 * level_idx)
-        tasksets = generator.batch(
-            u_norm=float(u_norm),
-            processors=processors,
-            count=samples,
-            seed=rng,
-        )
-        for name, test in algorithms.items():
-            curves[name].append(acceptance_ratio(test, tasksets, processors))
+    names = list(algorithms)
+    payload = (generator, [algorithms[n] for n in names], processors, seed)
+    cells = [
+        (level_idx, float(u_norm), sample_idx)
+        for level_idx, u_norm in enumerate(u_grid)
+        for sample_idx in range(samples)
+    ]
+    rows = chunked_map(_sweep_cell, cells, payload=payload, jobs=jobs)
+    curves: Dict[str, List[float]] = {name: [] for name in names}
+    for level_idx in range(len(u_grid)):
+        block = rows[level_idx * samples : (level_idx + 1) * samples]
+        for column, name in enumerate(names):
+            accepted = sum(1 for row in block if row[column])
+            curves[name].append(accepted / samples)
     return SweepResult(
         u_grid=[float(u) for u in u_grid],
         processors=processors,

@@ -22,7 +22,8 @@ import numpy as np
 from repro._util.floats import EPS
 from repro.analysis.acceptance import AcceptanceTest
 from repro.core.task import TaskSet
-from repro.taskgen.generators import TaskSetGenerator, make_rng
+from repro.runner import cell_rng, chunked_map
+from repro.taskgen.generators import TaskSetGenerator
 
 __all__ = ["breakdown_utilization", "average_breakdown", "BreakdownStats"]
 
@@ -97,6 +98,17 @@ class BreakdownStats:
         return float(np.quantile(self.values, q))
 
 
+def _breakdown_cell(payload, sample_idx: int) -> float:
+    """Worker for one breakdown sample: draw a shape, bisect its scale."""
+    test, generator, processors, base_u_norm, tolerance, seed = payload
+    ts = generator.generate(
+        u_norm=base_u_norm,
+        processors=processors,
+        seed=cell_rng(seed, sample_idx),
+    )
+    return breakdown_utilization(test, ts, processors, tolerance=tolerance)
+
+
 def average_breakdown(
     test: AcceptanceTest,
     generator: TaskSetGenerator,
@@ -106,22 +118,18 @@ def average_breakdown(
     seed: int = 0,
     base_u_norm: float = 0.4,
     tolerance: float = 1e-3,
+    jobs: int = 1,
 ) -> BreakdownStats:
     """Average breakdown utilization over random task-set shapes.
 
     Shapes are drawn from *generator* at a low ``base_u_norm`` (the shape
     is what matters; the search rescales), then each is bisected with
-    :func:`breakdown_utilization`.
+    :func:`breakdown_utilization`.  Samples are seeded independently via
+    :func:`repro.runner.cell_rng`, so ``jobs > 1`` distributes the
+    bisections over a process pool without changing any result.
     """
-    rng = make_rng(seed)
-    values: List[float] = []
-    for _ in range(samples):
-        ts = generator.generate(
-            u_norm=base_u_norm, processors=processors, seed=rng
-        )
-        values.append(
-            breakdown_utilization(
-                test, ts, processors, tolerance=tolerance
-            )
-        )
-    return BreakdownStats(values=values)
+    payload = (test, generator, processors, base_u_norm, tolerance, seed)
+    values = chunked_map(
+        _breakdown_cell, range(samples), payload=payload, jobs=jobs
+    )
+    return BreakdownStats(values=list(values))

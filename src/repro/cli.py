@@ -40,6 +40,7 @@ from repro.core.rmts import partition_rmts
 from repro.core.rmts_light import is_light_task_set, partition_rmts_light
 from repro.core.serialization import load_partition, save_partition
 from repro.core.task import Task, TaskSet
+from repro.runner import jobs_arg
 from repro.sim.engine import simulate_partition
 from repro.taskgen.generators import TaskSetGenerator
 from repro.taskgen.workloads import build_workload, preset_names
@@ -157,6 +158,63 @@ def cmd_simulate(args) -> int:
     return 0 if sim.ok else 1
 
 
+def cmd_sweep(args) -> int:
+    from repro.analysis.acceptance import acceptance_sweep
+    from repro.analysis.algorithms import standard_algorithms
+    from repro.perf.telemetry import COUNTERS, StageTimes, write_bench_json
+
+    if args.u_max < args.u_min:
+        raise ValueError("--u-max must be >= --u-min")
+    u_grid = []
+    u = args.u_min
+    while u <= args.u_max + 1e-9:
+        u_grid.append(round(u, 6))
+        u += args.u_step
+    gen = TaskSetGenerator(n=args.n, period_model=args.periods)
+    if args.light:
+        gen = gen.light()
+    algorithms = standard_algorithms(include_light=args.light)
+    stages = StageTimes()
+    before = COUNTERS.snapshot()
+    with stages.stage("sweep"):
+        sweep = acceptance_sweep(
+            algorithms,
+            gen,
+            processors=args.processors,
+            u_grid=u_grid,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    title = (
+        f"acceptance sweep: M={args.processors}, N={args.n}, "
+        f"{args.periods} periods, samples={args.samples}, jobs={args.jobs}"
+    )
+    print(sweep.table(title=title).to_text())
+    if args.bench_json:
+        write_bench_json(
+            args.bench_json,
+            {
+                "kind": "cli_sweep",
+                "config": {
+                    "n": args.n,
+                    "processors": args.processors,
+                    "periods": args.periods,
+                    "light": args.light,
+                    "u_grid": sweep.u_grid,
+                    "samples": args.samples,
+                    "seed": args.seed,
+                    "jobs": args.jobs,
+                },
+                "stage_seconds": stages.as_dict(),
+                "counters": COUNTERS.delta_since(before),
+                "curves": sweep.curves,
+            },
+        )
+        print(f"perf telemetry written to {args.bench_json}")
+    return 0
+
+
 def cmd_generate(args) -> int:
     if args.preset:
         ts = build_workload(
@@ -222,6 +280,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII schedule")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="acceptance-ratio sweep over the standard algorithm menu",
+    )
+    p_sweep.add_argument("--n", type=int, default=12)
+    p_sweep.add_argument("--processors", "-m", type=int, default=4)
+    p_sweep.add_argument(
+        "--periods",
+        choices=["loguniform", "uniform", "discrete", "harmonic", "kchain"],
+        default="loguniform",
+    )
+    p_sweep.add_argument("--light", action="store_true",
+                         help="light task sets (also adds RM-TS/light, SPA1)")
+    p_sweep.add_argument("--u-min", type=float, default=0.55)
+    p_sweep.add_argument("--u-max", type=float, default=1.0)
+    p_sweep.add_argument("--u-step", type=float, default=0.05)
+    p_sweep.add_argument("--samples", type=int, default=50)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--jobs", "-j", type=jobs_arg, default=1,
+        help="worker processes (0 = all cores; curves are bit-identical "
+        "at any jobs level)",
+    )
+    p_sweep.add_argument(
+        "--bench-json", default=None,
+        help="write wall-time + RTA-counter telemetry to this JSON file",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_gen = sub.add_parser("generate", help="generate a random task set")
     p_gen.add_argument("--n", type=int, default=12)

@@ -91,7 +91,7 @@ def assign_piece(
         )
     candidate = piece.as_candidate()
     if policy.fits(proc, candidate):
-        proc.add(piece.finalize())
+        proc.add(piece.finalize(candidate))
         return AssignOutcome(completed=True, filled=False, placed_cost=candidate.cost)
 
     cost = policy.split_cost(proc, piece)
@@ -99,7 +99,7 @@ def assign_piece(
     if cost >= piece.cost - max(EPS, 1e-9 * piece.cost):
         # Boundary case: MaxSplit admits the entire remainder.
         placed = piece.cost
-        proc.add(piece.finalize())
+        proc.add(piece.finalize(candidate))
         return AssignOutcome(completed=True, filled=True, placed_cost=placed)
     if cost <= EPS:
         return AssignOutcome(completed=False, filled=True, placed_cost=0.0)

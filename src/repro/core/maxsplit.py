@@ -22,18 +22,31 @@ describes (Section IV-A):
 Both handle the general case where the incoming piece is *not* the
 highest-priority task on the processor (needed by RM-TS phase 3, where a
 pre-assigned heavy task already lives on the target processor).
+
+Performance layer: both variants accept an optional pre-built
+:class:`~repro.core.rta.RTAContext` for the existing set.  With a context
+the fixed existing-set prefix is analyzed **once per search** instead of
+once per probe — the binary search probes through a reusable
+:meth:`~repro.core.rta.RTAContext.admission_probe` (warm-started fixed
+points, no re-sorting), and the scheduling-points variant reads the
+priority-sorted arrays directly as slices.  Without a context the original
+rebuild-per-probe code runs (the reference for equivalence tests and the
+``BENCH_sweep.json`` baseline).  Results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from bisect import bisect_right
+from math import floor
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro._util.floats import EPS
-from repro.core.rta import is_schedulable
+from repro.core.rta import RTAContext, is_schedulable
 from repro.core.partition import PendingPiece
 from repro.core.task import Subtask
+from repro.perf.telemetry import COUNTERS
 
 __all__ = ["max_split_binary", "max_split_points", "max_split"]
 
@@ -59,7 +72,11 @@ def _candidate(piece: PendingPiece, cost: float) -> Subtask:
 
 
 def max_split_binary(
-    existing: Sequence[Subtask], piece: PendingPiece, *, iterations: int = 64
+    existing: Sequence[Subtask],
+    piece: PendingPiece,
+    *,
+    iterations: int = 64,
+    context: Optional[RTAContext] = None,
 ) -> float:
     """Maximal admissible front cost by binary search over ``[0, C]``.
 
@@ -68,15 +85,31 @@ def max_split_binary(
     increase response times), so bisection is exact up to float precision.
     Returns a *feasible* cost (the lower end of the final bracket), 0.0 if
     nothing fits.
+
+    With *context* the existing-set prefix is analyzed once and every probe
+    reuses it; without, each probe rebuilds from scratch (seed behavior).
     """
+    COUNTERS.maxsplit_calls += 1
     if piece.cost <= 0:
         return 0.0
-    if not is_schedulable(list(existing)):
-        # Invariant violation upstream: the processor must be schedulable
-        # before a split is attempted.
-        return 0.0
+    if context is not None:
+        if not context.schedulable:
+            # Invariant violation upstream: the processor must be
+            # schedulable before a split is attempted.
+            return 0.0
+        cand = piece.as_candidate()
+        admit = context.admission_probe(
+            cand.period, cand.deadline, cand.priority
+        )
+    else:
+        if not is_schedulable(list(existing)):
+            return 0.0
+
+        def admit(cost: float) -> bool:
+            return is_schedulable(list(existing) + [_candidate(piece, cost)])
+
     hi = piece.cost
-    if is_schedulable(list(existing) + [_candidate(piece, hi)]):
+    if admit(hi):
         return hi
     lo = 0.0
     tol = max(_BINARY_REL_TOL * piece.cost, 1e-14)
@@ -84,7 +117,7 @@ def max_split_binary(
         if hi - lo <= tol:
             break
         mid = 0.5 * (lo + hi)
-        if is_schedulable(list(existing) + [_candidate(piece, mid)]):
+        if admit(mid):
             lo = mid
         else:
             hi = mid
@@ -105,6 +138,17 @@ def _scheduling_points(periods: np.ndarray, deadline: float) -> np.ndarray:
     return np.unique(np.asarray(points, dtype=float))
 
 
+def _scheduling_points_fast(periods: List[float], deadline: float) -> np.ndarray:
+    """:func:`_scheduling_points` for the context path: identical values
+    (same IEEE products, exact dedup, ascending order) built with python
+    set/sort instead of ``np.unique``'s array machinery."""
+    points = {deadline}
+    for t in periods:
+        m = floor(deadline / t + EPS)
+        points.update(t * k for k in range(1, m + 1))
+    return np.array(sorted(points), dtype=float)
+
+
 def _interference(t: np.ndarray, costs: np.ndarray, periods: np.ndarray) -> np.ndarray:
     """``sum_j ceil(t / T_j) C_j`` for a vector of instants *t*."""
     if costs.size == 0:
@@ -113,7 +157,12 @@ def _interference(t: np.ndarray, costs: np.ndarray, periods: np.ndarray) -> np.n
     return jobs @ costs
 
 
-def max_split_points(existing: Sequence[Subtask], piece: PendingPiece) -> float:
+def max_split_points(
+    existing: Sequence[Subtask],
+    piece: PendingPiece,
+    *,
+    context: Optional[RTAContext] = None,
+) -> float:
     """Maximal admissible front cost via exact scheduling-point analysis.
 
     For the incoming piece itself (priority *p*):
@@ -127,11 +176,83 @@ def max_split_points(existing: Sequence[Subtask], piece: PendingPiece) -> float:
 
     Higher-priority tasks are unaffected by the newcomer.  The result is
     the minimum over all constraints, clipped to ``[0, C]``.
+
+    With *context* the priority-sorted arrays are read as slices of the
+    cached existing-set prefix (no per-call sorting or concatenation).
     """
+    COUNTERS.maxsplit_calls += 1
     if piece.cost <= 0:
         return 0.0
     prio = piece.task.tid
     period_new = piece.task.period
+
+    if context is not None:
+        # The hp set of the j-th lower-priority task is exactly the sorted
+        # prefix of the cached arrays — zero-copy views, analyzed without
+        # re-sorting per search.
+        pos = bisect_right(context.prio_list, prio)
+        all_costs = context.costs
+        all_periods = context.periods
+        period_list = all_periods.tolist()
+        hp_costs = all_costs[:pos]
+        hp_periods = all_periods[:pos]
+        lp_costs = all_costs[pos:]
+        lp_deadlines = context.deadlines[pos:]
+        n_lp = lp_costs.size
+
+        # The result is min(best, C) in the end, so a constraint whose cap
+        # provably reaches C cannot bind.  Evaluating the slack at the
+        # single point t = Delta_j lower-bounds the cap (the deadline is
+        # always in the point set); if even that clears C — with a margin
+        # far above any summation-order ulp between this dot product and
+        # the vectorized full evaluation — the whole point enumeration for
+        # that constraint is skipped, leaving the final value unchanged.
+        skip_at = piece.cost * (1.0 + 1e-9) + 1e-9
+        best = np.inf
+
+        dl = piece.deadline
+        quick = dl - (
+            float(np.dot(np.ceil(dl / hp_periods - EPS), hp_costs))
+            if pos
+            else 0.0
+        )
+        if quick < skip_at:
+            pts = _scheduling_points_fast(period_list[:pos], dl)
+            slack = pts - _interference(pts, hp_costs, hp_periods)
+            best = float(slack.max()) if slack.size else dl
+
+        for idx in range(n_lp):
+            j = pos + idx
+            dl_j = float(lp_deadlines[idx])
+            interf = (
+                float(np.dot(np.ceil(dl_j / all_periods[:j] - EPS), all_costs[:j]))
+                if j
+                else 0.0
+            )
+            denom_dl = np.ceil(dl_j / period_new - EPS)
+            if denom_dl > 0:
+                quick = (dl_j - float(lp_costs[idx]) - interf) / denom_dl
+                if quick >= skip_at:
+                    continue
+            pts = _scheduling_points_fast(
+                period_list[:j] + [period_new],
+                dl_j,
+            )
+            numer = (
+                pts
+                - float(lp_costs[idx])
+                - _interference(pts, all_costs[:j], all_periods[:j])
+            )
+            denom = np.ceil(pts / period_new - EPS)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                limits = numer / denom
+            cap = float(limits.max()) if limits.size else 0.0
+            best = min(best, cap)
+            if best <= 0.0:
+                return 0.0
+
+        return float(min(max(best, 0.0), piece.cost))
+
     ordered = sorted(existing, key=lambda s: s.priority)
     hp = [s for s in ordered if s.priority < prio]
     lp = [s for s in ordered if s.priority > prio]
@@ -171,14 +292,17 @@ def max_split(
     piece: PendingPiece,
     *,
     method: str = "points",
+    context: Optional[RTAContext] = None,
 ) -> float:
     """Dispatch to a MaxSplit implementation (``"points"`` or ``"binary"``).
 
     ``"points"`` is the default: exact and much faster on processors with
-    many scheduling points (benchmarked in E10).
+    many scheduling points (benchmarked in E10).  *context* (optional) is a
+    pre-built analysis context of *existing* enabling the prefix-reusing
+    fast path in either variant.
     """
     if method == "points":
-        return max_split_points(existing, piece)
+        return max_split_points(existing, piece, context=context)
     if method == "binary":
-        return max_split_binary(existing, piece)
+        return max_split_binary(existing, piece, context=context)
     raise ValueError(f"unknown MaxSplit method: {method!r}")

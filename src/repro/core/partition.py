@@ -26,8 +26,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._util.floats import EPS, is_close
-from repro.core.rta import is_schedulable, response_times
+from repro.core.rta import RTAContext, is_schedulable, response_times
 from repro.core.task import SplitTaskView, Subtask, SubtaskKind, Task, TaskSet
+from repro.perf import config as perf_config
+from repro.perf.telemetry import COUNTERS
 
 __all__ = [
     "ProcessorRole",
@@ -52,7 +54,14 @@ class ProcessorRole(enum.Enum):
 
 @dataclass
 class ProcessorState:
-    """Mutable assignment state of one processor during partitioning."""
+    """Mutable assignment state of one processor during partitioning.
+
+    Cache-invalidation contract: the subtask list must only be mutated
+    through :meth:`add` (or followed by :meth:`invalidate_analysis`), which
+    drops the cached :class:`~repro.core.rta.RTAContext` and running
+    utilization.  Replacing elements of ``subtasks`` in place without
+    invalidating is unsupported and would serve stale analysis results.
+    """
 
     index: int
     subtasks: List[Subtask] = field(default_factory=list)
@@ -60,26 +69,82 @@ class ProcessorState:
     role: ProcessorRole = ProcessorRole.NORMAL
     #: tid of the pre-assigned task, if any (RM-TS phase 1).
     pre_assigned_tid: Optional[int] = None
+    #: Lazily built analysis cache; never compared or serialized.
+    _ctx: Optional[RTAContext] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Running utilization sum, maintained append-order so it is
+    #: float-identical to ``sum(s.utilization for s in subtasks)``.
+    _util: float = field(default=0.0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._util = float(sum(s.utilization for s in self.subtasks))
 
     @property
     def utilization(self) -> float:
         """``U(P_q)`` — sum of assigned subtask utilizations."""
-        return float(sum(s.utilization for s in self.subtasks))
+        return self._util
 
     def add(self, subtask: Subtask) -> None:
-        """Assign *subtask* to this processor."""
+        """Assign *subtask* to this processor.
+
+        An existing analysis context is updated incrementally (prefix
+        responses kept, suffix warm-started) rather than discarded, so the
+        admission cache survives the mutation at O(n) cost.
+        """
         if subtask.cost <= 0:
             raise ValueError("cannot assign a zero-cost subtask")
+        ctx = self._ctx
+        if ctx is not None and len(ctx) == len(self.subtasks):
+            self._ctx = ctx.with_subtask(subtask)
+        else:
+            self._ctx = None
         self.subtasks.append(subtask)
+        self._util += subtask.utilization
+
+    def invalidate_analysis(self) -> None:
+        """Drop cached analysis state after out-of-band mutation of
+        ``subtasks`` (normal code should only mutate via :meth:`add`)."""
+        self._ctx = None
+        self._util = float(sum(s.utilization for s in self.subtasks))
+
+    def rta_context(self) -> RTAContext:
+        """The cached analysis context, rebuilt only after mutation."""
+        COUNTERS.ctx_requests += 1
+        ctx = self._ctx
+        # The length guard catches out-of-band appends defensively; in-place
+        # element replacement cannot be detected and is unsupported.
+        if ctx is None or len(ctx) != len(self.subtasks):
+            COUNTERS.ctx_builds += 1
+            ctx = RTAContext(self.subtasks)
+            self._ctx = ctx
+        return ctx
 
     def schedulable_with(self, candidate: Subtask) -> bool:
         """Exact-RTA admission: does everything still meet its deadline if
-        *candidate* joins this processor? (Assign routine, Algorithm 2)."""
-        return is_schedulable(self.subtasks + [candidate])
+        *candidate* joins this processor? (Assign routine, Algorithm 2).
+
+        Uses the cached incremental context unless the performance layer is
+        switched off (``repro.perf.config``); both paths are bit-identical.
+        """
+        if not perf_config.incremental_rta:
+            COUNTERS.legacy_admissions += 1
+            return is_schedulable(self.subtasks + [candidate])
+        ctx = self._ctx
+        if ctx is None or len(ctx) != len(self.subtasks):
+            ctx = self.rta_context()
+        return ctx.admits(
+            candidate.cost,
+            candidate.period,
+            candidate.deadline,
+            candidate.priority,
+        )
 
     def is_schedulable(self) -> bool:
         """Exact-RTA check of the current contents."""
-        return is_schedulable(self.subtasks)
+        if not perf_config.incremental_rta:
+            return is_schedulable(self.subtasks)
+        return self.rta_context().schedulable
 
     def body_subtasks(self) -> List[Subtask]:
         """The body subtasks hosted here (at most one for the paper's
@@ -150,9 +215,15 @@ class PendingPiece:
             kind=kind,
         )
 
-    def finalize(self) -> Subtask:
-        """Consume the piece: the remainder is assigned entirely."""
-        sub = self.as_candidate()
+    def finalize(self, candidate: Optional[Subtask] = None) -> Subtask:
+        """Consume the piece: the remainder is assigned entirely.
+
+        *candidate* may pass back the subtask a preceding
+        :meth:`as_candidate` built for the admission test, provided the
+        piece was not mutated in between — it is returned as-is instead of
+        constructing an identical copy.
+        """
+        sub = candidate if candidate is not None else self.as_candidate()
         self.cost = 0.0
         return sub
 

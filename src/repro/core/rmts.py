@@ -175,19 +175,22 @@ def partition_rmts(
             placed.add(task.tid)
 
     # -- Phase 2: remaining tasks onto normal processors (worst-fit) --------
+    # Processors only ever *leave* the open set (roles are final after
+    # phase 1 and assign_piece may mark its target full), so the candidate
+    # lists are maintained incrementally instead of being rebuilt per piece.
     queue: Deque[PendingPiece] = deque(
         PendingPiece.of(t) for t in reversed(active) if t.tid not in placed
     )
     dead_tids = set()
-    while queue:
-        open_normal = [
-            p for p in procs if p.role is ProcessorRole.NORMAL and not p.full
-        ]
-        if not open_normal:
-            break
+    open_normal = [
+        p for p in procs if p.role is ProcessorRole.NORMAL and not p.full
+    ]
+    while queue and open_normal:
         piece = queue[0]
         target = min(open_normal, key=lambda p: (p.utilization, p.index))
         outcome = assign_piece(piece, target, policy)
+        if target.full:
+            open_normal.remove(target)
         if outcome.completed:
             queue.popleft()
         elif outcome.infeasible:
@@ -196,15 +199,20 @@ def partition_rmts(
 
     # -- Phase 3: remaining tasks onto pre-assigned processors (first-fit,
     # largest index = lowest-priority pre-assigned task first) --------------
-    while queue:
-        open_pre = [
-            p for p in procs if p.role is ProcessorRole.PRE_ASSIGNED and not p.full
-        ]
-        if not open_pre:
-            break
+    open_pre = sorted(
+        (
+            p
+            for p in procs
+            if p.role is ProcessorRole.PRE_ASSIGNED and not p.full
+        ),
+        key=lambda p: p.index,
+    )
+    while queue and open_pre:
         piece = queue[0]
-        target = max(open_pre, key=lambda p: p.index)
+        target = open_pre[-1]
         outcome = assign_piece(piece, target, policy)
+        if target.full:
+            open_pre.pop()
         if outcome.completed:
             queue.popleft()
         elif outcome.infeasible:

@@ -101,16 +101,18 @@ def partition_rmts_light(
     queue: Deque[PendingPiece] = deque(PendingPiece.of(t) for t in ordered)
 
     dead_tids = set()
-    while queue:
-        open_procs = [p for p in procs if not p.full]
-        if not open_procs:
-            break
+    # Processors only leave the open set (assign_piece may mark its target
+    # full), so it is maintained incrementally rather than rebuilt per piece.
+    open_procs = [p for p in procs if not p.full]
+    while queue and open_procs:
         piece = queue[0]
         if placement == "worst_fit":
             target = min(open_procs, key=lambda p: (p.utilization, p.index))
         else:
             target = min(open_procs, key=lambda p: p.index)
         outcome = assign_piece(piece, target, policy)
+        if target.full:
+            open_procs.remove(target)
         if outcome.completed:
             queue.popleft()
         elif outcome.infeasible:

@@ -24,19 +24,23 @@ loop.  The iteration starts from the standard lower bound
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from math import ceil
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._util.floats import EPS
 from repro.core.task import Subtask
+from repro.perf.telemetry import COUNTERS
 
 __all__ = [
     "response_time",
     "response_times",
     "is_schedulable",
     "RTAResult",
+    "RTAContext",
     "rta_arrays",
     "first_failure",
 ]
@@ -45,12 +49,22 @@ __all__ = [
 #: far fewer steps, this only guards against pathological float cycles.
 _MAX_ITER = 10_000
 
+#: Below this hp-set size the fixed point iterates in scalar Python —
+#: NumPy's per-call dispatch costs ~10x the actual arithmetic there.  The
+#: threshold is deliberately generous: a processor in the paper's
+#: experiments hosts a handful of subtasks, so virtually every call takes
+#: the scalar path, and the crossover versus the vectorized loop lies well
+#: above 16 interfering tasks.
+_SCALAR_MAX = 16
+
 
 def response_time(
     cost: float,
     hp_costs: np.ndarray,
     hp_periods: np.ndarray,
     deadline: float,
+    *,
+    start: Optional[float] = None,
 ) -> Optional[float]:
     """Worst-case response time of one task under the given hp interference.
 
@@ -65,25 +79,66 @@ def response_time(
         The analyzed task's (synthetic) deadline; the iteration aborts and
         returns ``None`` as soon as the response exceeds it (no useful exact
         value beyond that point for admission purposes).
+    start:
+        Optional warm start.  Sound whenever it is a lower bound on the
+        least fixed point — e.g. the task's response time under a *subset*
+        of the interference (the iteration map is monotone, so any fixed
+        point of the smaller map is a pre-fixed point of the larger one and
+        the iteration still converges to the same least fixed point,
+        producing the identical float value).
 
     Returns
     -------
     The smallest fixed point ``R = C + sum(ceil(R/T_j) C_j)`` if it is at
     most ``deadline`` (up to tolerance), else ``None``.
     """
+    COUNTERS.rta_calls += 1
     if cost <= 0:
         return 0.0
     if hp_costs.size == 0:
         return cost if cost <= deadline + EPS else None
+    if hp_costs.size <= _SCALAR_MAX:
+        # Scalar fixed point: NumPy's per-call dispatch overhead dwarfs the
+        # actual arithmetic at the hp-set sizes that dominate partitioning
+        # (a handful of subtasks per processor), so the same iteration runs
+        # roughly an order of magnitude faster on plain Python floats.
+        cs = hp_costs.tolist()
+        ps = hp_periods.tolist()
+        r = cost
+        for c in cs:  # standard warm start: one job of each
+            r += c
+        if start is not None and start > r:
+            r = start
+        bound = deadline * (1.0 + 1e-12) + EPS
+        iterations = 0
+        for _ in range(_MAX_ITER):
+            if r > bound:
+                COUNTERS.rta_iterations += iterations
+                return None
+            iterations += 1
+            r_new = cost
+            for c, t in zip(cs, ps):
+                r_new += ceil(r / t - EPS) * c
+            if r_new <= r + EPS:
+                COUNTERS.rta_iterations += iterations
+                return r_new if r_new <= bound else None
+            r = r_new
+        raise RuntimeError("RTA fixed point failed to converge")
     r = cost + float(hp_costs.sum())  # standard warm start: one job of each
+    if start is not None and start > r:
+        r = start
     bound = deadline * (1.0 + 1e-12) + EPS
+    iterations = 0
     for _ in range(_MAX_ITER):
         if r > bound:
+            COUNTERS.rta_iterations += iterations
             return None
         # interference: ceil(r / T_j) * C_j, vectorized over the hp set.
+        iterations += 1
         jobs = np.ceil(r / hp_periods - EPS)
         r_new = cost + float(np.dot(jobs, hp_costs))
         if r_new <= r + EPS:
+            COUNTERS.rta_iterations += iterations
             return r_new if r_new <= bound else None
         r = r_new
     raise RuntimeError("RTA fixed point failed to converge")
@@ -162,6 +217,461 @@ def is_schedulable(subtasks: Sequence[Subtask]) -> bool:
         if response_time(costs[i], costs[:i], periods[:i], deadlines[i]) is None:
             return False
     return True
+
+
+def _insert(arr: np.ndarray, pos: int, value) -> np.ndarray:
+    """``np.insert`` for the 1-D hot path, without its generic-axis
+    machinery (which costs ~30x the actual copy at these array sizes)."""
+    out = np.empty(arr.size + 1, dtype=arr.dtype)
+    out[:pos] = arr[:pos]
+    out[pos] = value
+    out[pos + 1 :] = arr[pos:]
+    return out
+
+
+class RTAContext:
+    """Cached analysis context for one processor's *fixed* subtask list.
+
+    Holds the priority-sorted ``(C, T, Delta)`` arrays plus the
+    last-computed response times, so admission probes stop rebuilding and
+    re-sorting arrays per candidate.  A probe against a candidate at sorted
+    position ``pos`` reuses the cache twice (Section IV-A structure):
+
+    * subtasks with **higher** priority than the candidate are untouched —
+      their interference set is unchanged, so their cached responses remain
+      exact and are not re-analyzed;
+    * the candidate and every **lower**-priority subtask are re-iterated,
+      each warm-started from its previous fixed point (a sound lower bound
+      on the new one, see :func:`response_time`), which typically converges
+      in one or two iterations.
+
+    All arithmetic uses the same array slices, iteration order and dot
+    products as :func:`is_schedulable` on the merged list, so decisions and
+    response values are bit-identical to the rebuild-from-scratch path
+    (property-tested in ``tests/core/test_rta_incremental.py``).
+
+    The context is logically immutable once built — internal state only
+    moves monotonically from "deferred" to "computed" (:meth:`_resolve`,
+    the probe memo); :class:`ProcessorState` owns invalidation (any
+    mutation of the subtask list drops its cached context).
+    """
+
+    __slots__ = (
+        "_block",
+        "costs",
+        "periods",
+        "deadlines",
+        "_prios",
+        "ratios",
+        "util_sum",
+        "prio_list",
+        "implicit",
+        "rm_ordered",
+        "hyper_prod",
+        "responses",
+        "first_fail",
+        "_memo",
+    )
+
+    def __init__(self, subtasks: Sequence[Subtask]) -> None:
+        costs, periods, deadlines, prios = rta_arrays(subtasks)
+        # One (4, n) block holds costs/periods/deadlines/ratios as row
+        # views: a single allocation per context, and incremental
+        # extension copies all four rows in one slice operation.
+        block = np.empty((4, costs.size))
+        block[0] = costs
+        block[1] = periods
+        block[2] = deadlines
+        self._set_block(block)
+        self._prios = prios
+        self.prio_list = prios.tolist()
+        self._init_derived()
+        self.responses = np.full(costs.size, np.nan)
+        # Index of the first subtask failing exact RTA, or a sentinel:
+        # -1 schedulable, -2 the necessary utilization condition fails,
+        # -3 analysis deferred (see :meth:`_resolve`).
+        self.first_fail = -1
+        n = costs.size
+        if n and self.util_sum > 1.0 + EPS:
+            self.first_fail = -2
+            return
+        for i in range(n):
+            r = response_time(costs[i], costs[:i], periods[:i], deadlines[i])
+            if r is None:
+                self.first_fail = i
+                break
+            self.responses[i] = r
+
+    def _set_block(self, block: np.ndarray) -> None:
+        """Adopt a (4, n) data block; rows become the named array views."""
+        self._block = block
+        self.costs = block[0]
+        self.periods = block[1]
+        self.deadlines = block[2]
+        self.ratios = block[3]
+
+    def _init_derived(self) -> None:
+        """Derived caches: per-subtask utilizations (elementwise, so their
+        sum is float-identical to ``(costs / periods).sum()`` on the same
+        arrays) and the hyperbolic-bound state for the sufficient
+        pre-accept."""
+        np.divide(self.costs, self.periods, out=self.ratios)
+        self.util_sum = float(self.ratios.sum()) if self.ratios.size else 0.0
+        self._memo = None
+        # Bini-Buttazzo applies only when every (synthetic) deadline equals
+        # its period, i.e. nothing on the processor has been split, AND the
+        # priority order is rate monotonic.  Partitioning always satisfies
+        # the latter (tids are assigned in RM order), but the context must
+        # stay sound for arbitrary priority-consistent inputs.
+        self.implicit = bool(np.all(self.deadlines == self.periods))
+        self.rm_ordered = bool((np.diff(self.periods) >= 0.0).all())
+        self.hyper_prod = (
+            float(np.prod(1.0 + self.ratios)) if self.implicit else np.inf
+        )
+
+    @property
+    def prios(self) -> np.ndarray:
+        """Priority array (lazy — the hot paths use :attr:`prio_list`)."""
+        if self._prios is None:
+            self._prios = np.array(self.prio_list, dtype=int)
+        return self._prios
+
+    def __len__(self) -> int:
+        return int(self.costs.size)
+
+    def _resolve(self) -> int:
+        """Run the deferred exact RTA of any NaN response slots.
+
+        Lazy extensions (:meth:`with_subtask` on the general path) postpone
+        the suffix re-analysis: a body subtask lands on a processor that is
+        marked full right after, so the fixed points are usually never
+        needed again.  When they are — a later probe, a schedulability
+        query, partition validation — this fills the missing slots exactly
+        like a fresh build would (same cold starts over the same array
+        prefixes, hence bit-identical values and failure index).
+        """
+        costs = self.costs
+        periods = self.periods
+        deadlines = self.deadlines
+        responses = self.responses
+        for i in range(costs.size):
+            if responses[i] == responses[i]:  # already known (not NaN)
+                continue
+            r = response_time(costs[i], costs[:i], periods[:i], deadlines[i])
+            if r is None:
+                self.first_fail = i
+                return i
+            responses[i] = r
+        self.first_fail = -1
+        return -1
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether the current contents pass exact RTA (cached)."""
+        if self.first_fail == -3:
+            self._resolve()
+        return self.first_fail == -1
+
+    @property
+    def utilization(self) -> float:
+        """Assigned utilization, summed in priority order."""
+        if self.costs.size == 0:
+            return 0.0
+        return float((self.costs / self.periods).sum())
+
+    def admission_probe(
+        self, period: float, deadline: float, priority: int
+    ) -> Callable[[float], bool]:
+        """A reusable admission test ``cost -> fits?`` for one candidate
+        shape (period/deadline/priority fixed, cost varying).
+
+        Used by the MaxSplit searches, which probe many costs of the same
+        candidate: the merged arrays are materialized once and only the
+        candidate's cost slot is rewritten per probe.
+        """
+        if self.first_fail == -3:
+            self._resolve()
+        if self.first_fail != -1:
+            return lambda cost: False
+        n = self.costs.size
+        # side="right" matches the stable sort of rta_arrays with the
+        # candidate appended last (ties cannot occur for valid partitions,
+        # but the probe must mirror the rebuild path exactly regardless).
+        pos = bisect_right(self.prio_list, priority)
+        m_costs = _insert(self.costs, pos, 0.0)
+        m_periods = _insert(self.periods, pos, float(period))
+        m_ratios = _insert(self.ratios, pos, 0.0)
+        hyper = (
+            self.implicit
+            and self.rm_ordered
+            and deadline == period
+            and (pos == 0 or self.periods[pos - 1] <= period)
+            and (pos == n or period <= self.periods[pos])
+        )
+        hyper_prod = self.hyper_prod
+        util_sum = self.util_sum
+        hp_util = float(self.ratios[:pos].sum()) if pos else 0.0
+        deadlines = self.deadlines
+        costs = self.costs
+        responses = self.responses
+        ctx = self
+
+        def admit(cost: float) -> bool:
+            COUNTERS.admission_probes += 1
+            u_c = cost / period
+            if hyper and hyper_prod * (1.0 + u_c) <= 2.0 - 1e-9:
+                # Hyperbolic sufficient accept (Bini-Buttazzo): implies the
+                # exact-RTA accept, so the decision is unchanged; the margin
+                # keeps float rounding from crossing the bound's edge.
+                COUNTERS.hyper_accepts += 1
+                return True
+            # Necessary condition: cheap cached-sum test with a margin far
+            # above its summation-order error; candidates inside the band
+            # fall back to the merged-order sum the legacy path compares
+            # (elementwise division commutes with the insertion).
+            approx = util_sum + u_c
+            if approx > 1.0 + EPS - 1e-10:
+                if approx > 1.0 + EPS + 1e-10:
+                    return False
+                m_ratios[pos] = u_c
+                if float(m_ratios.sum()) > 1.0 + EPS:
+                    return False
+            m_costs[pos] = cost
+            # The candidate itself: no cached fixed point exists; the fluid
+            # bound C/(1-U_hp) warm-starts the iteration (shrunk so float
+            # rounding cannot overshoot the least fixed point).
+            r = response_time(
+                cost,
+                m_costs[:pos],
+                m_periods[:pos],
+                deadline,
+                start=(
+                    cost / (1.0 - hp_util) * (1.0 - 1e-12)
+                    if hp_util < 1.0
+                    else None
+                ),
+            )
+            if r is None:
+                return False
+            merged = np.empty(n + 1)
+            merged[:pos] = responses[:pos]
+            merged[pos] = r
+            # Lower-priority suffix: warm-start each task with one step of
+            # the *extended* iteration map applied to its cached fixed
+            # point — still a lower bound on the new least fixed point
+            # (the map is monotone and the old fixed point lies below it),
+            # shrunk so float rounding cannot overshoot.  The iteration
+            # then typically starts at its destination, and a start beyond
+            # the deadline rejects without a single interference sum.
+            for i in range(pos, n):
+                r_prev = responses[i]
+                start = (
+                    (r_prev + ceil(r_prev / period - EPS) * cost)
+                    * (1.0 - 1e-12)
+                    if r_prev == r_prev
+                    else None
+                )
+                r = response_time(
+                    costs[i],
+                    m_costs[: i + 1],
+                    m_periods[: i + 1],
+                    deadlines[i],
+                    start=start,
+                )
+                if r is None:
+                    return False
+                merged[i + 1] = r
+            # Remember the last admitted candidate's merged responses: when
+            # the caller commits it (ProcessorState.add -> with_subtask) the
+            # extended context is assembled without re-running any RTA.
+            ctx._memo = (cost, float(period), float(deadline), priority, merged)
+            return True
+
+        return admit
+
+    def admits(
+        self, cost: float, period: float, deadline: float, priority: int
+    ) -> bool:
+        """Incremental admission: would the processor stay schedulable if a
+        subtask ``<cost, period, deadline>`` at *priority* joined?
+
+        Decision-identical to ``is_schedulable(subtasks + [candidate])``,
+        via (in order): the hyperbolic sufficient accept, the necessary
+        utilization reject, and the prefix-reusing exact RTA.  Single-shot
+        twin of :meth:`admission_probe` without the closure setup.
+        """
+        COUNTERS.admission_probes += 1
+        if self.first_fail == -3:
+            self._resolve()
+        if self.first_fail != -1:
+            return False
+        u_c = cost / period
+        pos = bisect_right(self.prio_list, priority)
+        if (
+            self.implicit
+            and self.rm_ordered
+            and deadline == period
+            and (pos == 0 or self.periods[pos - 1] <= period)
+            and (pos == self.periods.size or period <= self.periods[pos])
+            and self.hyper_prod * (1.0 + u_c) <= 2.0 - 1e-9
+        ):
+            COUNTERS.hyper_accepts += 1
+            return True
+        # Necessary utilization condition.  The cheap cached-sum test is
+        # conservative by a margin far above its worst-case summation-order
+        # error (~n*eps); only candidates inside the margin band fall back
+        # to the merged-order sum that the legacy path compares.
+        approx = self.util_sum + u_c
+        if approx > 1.0 + EPS - 1e-10:
+            if approx > 1.0 + EPS + 1e-10:
+                return False
+            if float(_insert(self.ratios, pos, u_c).sum()) > 1.0 + EPS:
+                return False
+        # The candidate's hp set is the unchanged prefix — no merged arrays
+        # needed unless the suffix must be re-checked.  The fluid lower
+        # bound C/(1-U_hp) warm-starts the cold iteration; the tiny shrink
+        # keeps float rounding from overshooting the least fixed point.
+        hp_util = float(self.ratios[:pos].sum()) if pos else 0.0
+        start = (
+            cost / (1.0 - hp_util) * (1.0 - 1e-12) if hp_util < 1.0 else None
+        )
+        r = response_time(
+            cost, self.costs[:pos], self.periods[:pos], deadline, start=start
+        )
+        if r is None:
+            return False
+        n = self.costs.size
+        responses = self.responses
+        costs = self.costs
+        deadlines = self.deadlines
+        merged = np.empty(n + 1)
+        merged[:pos] = responses[:pos]
+        merged[pos] = r
+        if pos < n:
+            m_costs = _insert(self.costs, pos, cost)
+            m_periods = _insert(self.periods, pos, float(period))
+            # Suffix warm start: one step of the extended map from the
+            # cached fixed point (see :meth:`admission_probe`).
+            for i in range(pos, n):
+                r_prev = responses[i]
+                start = (
+                    (r_prev + ceil(r_prev / period - EPS) * cost)
+                    * (1.0 - 1e-12)
+                    if r_prev == r_prev
+                    else None
+                )
+                r = response_time(
+                    costs[i],
+                    m_costs[: i + 1],
+                    m_periods[: i + 1],
+                    deadlines[i],
+                    start=start,
+                )
+                if r is None:
+                    return False
+                merged[i + 1] = r
+        self._memo = (cost, float(period), float(deadline), priority, merged)
+        return True
+
+    def admits_subtask(self, candidate: Subtask) -> bool:
+        """:meth:`admits` for a :class:`~repro.core.task.Subtask`."""
+        return self.admits(
+            candidate.cost,
+            candidate.period,
+            candidate.deadline,
+            candidate.priority,
+        )
+
+    def with_subtask(self, candidate: Subtask) -> "RTAContext":
+        """A new context with *candidate* inserted — the incremental
+        counterpart of rebuilding from the extended subtask list.
+
+        The unchanged higher-priority prefix keeps its cached responses
+        verbatim; the candidate and the lower-priority suffix are settled
+        by the probe memo or the hyperbolic accept when possible, and
+        deferred to :meth:`_resolve` otherwise.  Either way the observable
+        values are bit-identical to a fresh build (same arrays, same
+        iteration maps, same dot products), so
+        :meth:`ProcessorState.add <repro.core.partition.ProcessorState.add>`
+        can maintain its cache in O(n) instead of O(n^2) per mutation.
+        """
+        new = RTAContext.__new__(RTAContext)
+        pos = bisect_right(self.prio_list, candidate.priority)
+        u_c = candidate.cost / candidate.period
+        old = self._block
+        block = np.empty((4, old.shape[1] + 1))
+        block[:, :pos] = old[:, :pos]
+        block[:, pos + 1 :] = old[:, pos:]
+        block[0, pos] = candidate.cost
+        block[1, pos] = candidate.period
+        block[2, pos] = candidate.deadline
+        block[3, pos] = u_c
+        new._set_block(block)
+        new._prios = None
+        new.util_sum = float(new.ratios.sum())
+        new.prio_list = self.prio_list.copy()
+        new.prio_list.insert(pos, candidate.priority)
+        new.implicit = self.implicit and candidate.deadline == candidate.period
+        new.rm_ordered = bool(
+            self.rm_ordered
+            and (pos == 0 or old[1, pos - 1] <= candidate.period)
+            and (pos == old.shape[1] or candidate.period <= old[1, pos])
+        )
+        # Maintained as a running product: may drift from a fresh
+        # ``np.prod`` by ulps, which the pre-accept margin absorbs.
+        new.hyper_prod = (
+            self.hyper_prod * (1.0 + u_c) if new.implicit else np.inf
+        )
+        new._memo = None
+        n = new.costs.size
+        memo = self._memo
+        if (
+            memo is not None
+            and memo[0] == candidate.cost
+            and memo[1] == candidate.period
+            and memo[2] == candidate.deadline
+            and memo[3] == candidate.priority
+        ):
+            # The candidate was just admitted through a probe of this very
+            # context; its merged fixed points are already exact.
+            new.responses = memo[4]
+            new.first_fail = -1
+            COUNTERS.ctx_memo_hits += 1
+            return new
+        if (
+            new.implicit
+            and new.rm_ordered
+            and self.first_fail == -1
+            and self.hyper_prod * (1.0 + u_c) <= 2.0 - 1e-9
+        ):
+            # Hyperbolic sufficient accept: schedulability is settled, so
+            # fixed points need not be computed now.  NaN responses mean
+            # "no cached value" — later probes cold-start those slots.
+            new.responses = responses = np.empty(n)
+            responses[pos:] = np.nan
+            responses[:pos] = self.responses[:pos]
+            new.first_fail = -1
+            return new
+        new.responses = np.empty(n)
+        new.responses[:] = np.nan
+        if new.util_sum > 1.0 + EPS:
+            new.first_fail = -2
+            return new
+        if 0 <= self.first_fail < pos:
+            # The old failure is in the unchanged prefix; it fails
+            # identically in the extended set.
+            new.responses[: self.first_fail] = self.responses[: self.first_fail]
+            new.first_fail = self.first_fail
+            return new
+        # General path: defer the exact analysis.  This case is dominated
+        # by body subtasks landing on a processor that is marked full
+        # immediately afterwards (Algorithm 2), so the new fixed points are
+        # usually never consulted; :meth:`_resolve` computes any slot that
+        # is later needed, bit-identically to a fresh build.  The valid
+        # prefix responses are kept (NaN slots stay "unknown").
+        new.responses[:pos] = self.responses[:pos]
+        new.first_fail = -3
+        return new
 
 
 def first_failure(subtasks: Sequence[Subtask]) -> Optional[Subtask]:

@@ -10,11 +10,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from pathlib import Path
 
 from repro.experiments import all_experiments, get_experiment
+from repro.runner import jobs_arg
 
 
 def _write_report(directory: str, report) -> None:
@@ -41,6 +43,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=jobs_arg,
+        default=1,
+        help="worker processes for sweep-based experiments "
+        "(0 = all cores; results are bit-identical at any jobs level)",
+    )
+    parser.add_argument(
         "--write-dir",
         default=None,
         help="also write each rendered report (and every table as CSV) "
@@ -61,7 +71,12 @@ def main(argv=None) -> int:
     failures = 0
     for experiment_id in ids:
         exp = get_experiment(experiment_id)
-        report = exp.run(quick=not args.full, seed=args.seed)
+        kwargs = {"quick": not args.full, "seed": args.seed}
+        # Only sweep-based drivers take a jobs parameter; the rest run
+        # closed-form computations where fan-out has nothing to win.
+        if "jobs" in inspect.signature(exp.run).parameters:
+            kwargs["jobs"] = args.jobs
+        report = exp.run(**kwargs)
         print(report.render())
         print()
         if args.write_dir:

@@ -27,7 +27,9 @@ __all__ = ["run_a1", "run_a2"]
 
 
 @register("a1", "Ablations: admission rule, assignment order, placement")
-def run_a1(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_a1(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="a1",
         title="Ablations: admission rule, assignment order, placement",
@@ -57,7 +59,8 @@ def run_a1(quick: bool = True, seed: int = 0) -> ExperimentReport:
         ).success,
     }
     sweep = acceptance_sweep(
-        variants, gen, processors=m, u_grid=u_grid, samples=samples, seed=seed
+        variants, gen, processors=m, u_grid=u_grid, samples=samples,
+        seed=seed, jobs=jobs,
     )
     report.tables.append(
         sweep.table(title=f"A1: RM-TS/light ablations, M={m}, N={n}, light sets")

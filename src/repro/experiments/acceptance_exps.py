@@ -29,7 +29,9 @@ __all__ = ["run_e3", "run_e4"]
 
 
 @register("e3", "Acceptance ratio on general task sets: RM-TS vs SPA2 vs P-RM")
-def run_e3(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e3(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e3",
         title="Acceptance ratio on general task sets: RM-TS vs SPA2 vs P-RM",
@@ -59,6 +61,7 @@ def run_e3(quick: bool = True, seed: int = 0) -> ExperimentReport:
             u_grid=u_grid,
             samples=samples,
             seed=seed,
+            jobs=jobs,
         )
         report.tables.append(
             sweep.table(
@@ -89,7 +92,9 @@ def run_e3(quick: bool = True, seed: int = 0) -> ExperimentReport:
 
 
 @register("e4", "Acceptance ratio on light task sets: RM-TS/light vs SPA1")
-def run_e4(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e4(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e4",
         title="Acceptance ratio on light task sets: RM-TS/light vs SPA1",
@@ -118,6 +123,7 @@ def run_e4(quick: bool = True, seed: int = 0) -> ExperimentReport:
             u_grid=u_grid,
             samples=samples,
             seed=seed,
+            jobs=jobs,
         )
         report.tables.append(
             sweep.table(title=f"E4: acceptance ratio, M={m}, N={n}, light sets")

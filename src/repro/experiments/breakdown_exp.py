@@ -32,7 +32,9 @@ def _uniproc_rta_test(taskset, processors):
 
 
 @register("e5", "Average breakdown utilization: RTA vs utilization thresholds")
-def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e5(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e5",
         title="Average breakdown utilization: RTA vs utilization thresholds",
@@ -57,6 +59,7 @@ def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
         seed=seed,
         base_u_norm=0.4,
         tolerance=tol,
+        jobs=jobs,
     )
     theta_uni = ll_bound(n_uni)
 
@@ -72,6 +75,7 @@ def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
         seed=seed,
         base_u_norm=0.4,
         tolerance=tol,
+        jobs=jobs,
     )
     spa2 = average_breakdown(
         lambda ts, mm: partition_spa2(ts, mm).success,
@@ -81,6 +85,7 @@ def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
         seed=seed,
         base_u_norm=0.4,
         tolerance=tol,
+        jobs=jobs,
     )
     theta = ll_bound(n)
 
@@ -99,6 +104,7 @@ def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
         seed=seed,
         base_u_norm=0.35,
         tolerance=tol,
+        jobs=jobs,
     )
     light = average_breakdown(
         rmts_light_breakdown_test,
@@ -108,6 +114,7 @@ def run_e5(quick: bool = True, seed: int = 0) -> ExperimentReport:
         seed=seed,
         base_u_norm=0.35,
         tolerance=tol,
+        jobs=jobs,
     )
     theta_light = ll_bound(n_light)
 

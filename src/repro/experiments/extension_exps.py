@@ -93,7 +93,9 @@ def run_e11(quick: bool = True, seed: int = 0) -> ExperimentReport:
 
 
 @register("e12", "Partitioned EDF baselines vs the splitting algorithms")
-def run_e12(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e12(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e12",
         title="Partitioned EDF baselines vs the splitting algorithms",
@@ -116,7 +118,7 @@ def run_e12(quick: bool = True, seed: int = 0) -> ExperimentReport:
     }
     sweep = acceptance_sweep(
         algorithms, gen, processors=m, u_grid=u_grid, samples=samples,
-        seed=seed,
+        seed=seed, jobs=jobs,
     )
     report.tables.append(
         sweep.table(title=f"E12: acceptance ratio, M={m}, N={n}")
@@ -152,7 +154,9 @@ def run_e12(quick: bool = True, seed: int = 0) -> ExperimentReport:
 
 
 @register("e13", "Semi-partitioned EDF (EDF-WS) vs semi-partitioned RM (RM-TS)")
-def run_e13(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e13(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     from repro.core.baselines.edf_split import partition_edf_split
     from repro.sim.engine import simulate_partition
 
@@ -180,7 +184,7 @@ def run_e13(quick: bool = True, seed: int = 0) -> ExperimentReport:
     }
     sweep = acceptance_sweep(
         algorithms, gen, processors=m, u_grid=u_grid, samples=samples,
-        seed=seed,
+        seed=seed, jobs=jobs,
     )
     report.tables.append(
         sweep.table(title=f"E13: acceptance ratio, M={m}, N={n}, discrete periods")

@@ -34,7 +34,9 @@ __all__ = ["run_e1", "run_e2"]
 
 
 @register("e1", "Light harmonic task sets: the 100% bound on multiprocessors")
-def run_e1(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e1(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e1",
         title="Light harmonic task sets: the 100% bound on multiprocessors",
@@ -62,6 +64,7 @@ def run_e1(quick: bool = True, seed: int = 0) -> ExperimentReport:
             u_grid=u_grid,
             samples=samples,
             seed=seed,
+            jobs=jobs,
         )
         report.tables.append(
             sweep.table(title=f"E1: acceptance ratio, M={m}, N={n}, light harmonic")
@@ -78,7 +81,9 @@ def run_e1(quick: bool = True, seed: int = 0) -> ExperimentReport:
 
 
 @register("e2", "Harmonic-chain bounds for RM-TS (K = 1, 2, 3)")
-def run_e2(quick: bool = True, seed: int = 0) -> ExperimentReport:
+def run_e2(
+    quick: bool = True, seed: int = 0, jobs: int = 1
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="e2",
         title="Harmonic-chain bounds for RM-TS (K = 1, 2, 3)",
@@ -110,6 +115,7 @@ def run_e2(quick: bool = True, seed: int = 0) -> ExperimentReport:
             u_grid=u_grid,
             samples=samples,
             seed=seed + k,
+            jobs=jobs,
         )
         curve = sweep.curves["RM-TS"]
         summary.add_row([k, raw, capped, curve[1], curve[2]])

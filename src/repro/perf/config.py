@@ -1,0 +1,41 @@
+"""Runtime switches for the performance layer.
+
+``incremental_rta`` selects between the two bit-identical admission paths:
+
+* ``True`` (default) — :class:`repro.core.rta.RTAContext` caching: each
+  :class:`~repro.core.partition.ProcessorState` keeps priority-sorted
+  ``(C, T, Delta)`` arrays plus the last-computed response times, and
+  admission probes reuse the unchanged higher-priority prefix with
+  warm-started fixed points.
+* ``False`` — the seed code path: every probe rebuilds and re-sorts the
+  subtask arrays from scratch.  Kept as the reference/baseline for the
+  equivalence property tests and for ``BENCH_sweep.json`` speedup numbers.
+
+The switch is a module global read once per admission call; flip it with
+:func:`use_incremental_rta` (a context manager) rather than assigning the
+attribute directly, so nesting restores the previous value.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: Whether cached/incremental RTA admission is active (see module docstring).
+incremental_rta: bool = True
+
+
+def incremental_rta_enabled() -> bool:
+    """Current state of the incremental-RTA switch."""
+    return incremental_rta
+
+
+@contextmanager
+def use_incremental_rta(enabled: bool):
+    """Temporarily force the incremental-RTA switch on or off."""
+    global incremental_rta
+    previous = incremental_rta
+    incremental_rta = bool(enabled)
+    try:
+        yield
+    finally:
+        incremental_rta = previous

@@ -1,0 +1,113 @@
+"""Structured perf telemetry: hot-path counters and per-stage wall times.
+
+The counters are plain integer attributes on a module-global singleton —
+incrementing one costs ~100 ns, negligible next to the NumPy work in a
+single RTA fixed-point iteration, so they are always on.  Sweep runners
+snapshot the counters around a region and report the delta; worker
+processes of the parallel runner return their deltas to the parent, which
+merges them so totals are meaningful at any ``jobs`` level.
+
+``BENCH_sweep.json`` (see ``DESIGN.md`` §5 for the schema) is assembled
+from these snapshots plus :class:`StageTimes` wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PerfCounters", "COUNTERS", "StageTimes", "write_bench_json"]
+
+#: Counter attribute names, in reporting order.
+_FIELDS = (
+    "rta_calls",          # response_time() invocations
+    "rta_iterations",     # fixed-point iterations across all calls
+    "admission_probes",   # incremental admits() probes answered
+    "hyper_accepts",      # probes settled by the hyperbolic sufficient test
+    "ctx_memo_hits",      # context extensions served from the probe memo
+    "ctx_requests",       # ProcessorState analysis-context lookups
+    "ctx_builds",         # lookups that had to (re)build the context
+    "maxsplit_calls",     # MaxSplit searches (both variants)
+    "legacy_admissions",  # full is_schedulable() rebuild-per-probe calls
+)
+
+
+class PerfCounters:
+    """Mutable bundle of hot-path event counters."""
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in _FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the current counter values."""
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since *before* (an earlier :meth:`snapshot`)."""
+        return {
+            name: getattr(self, name) - before.get(name, 0) for name in _FIELDS
+        }
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Add a delta produced by another process (parallel workers)."""
+        for name, value in delta.items():
+            if name in _FIELDS:
+                setattr(self, name, getattr(self, name) + int(value))
+
+    @property
+    def ctx_hit_rate(self) -> float:
+        """Fraction of context lookups served from cache."""
+        if self.ctx_requests == 0:
+            return 0.0
+        return 1.0 - self.ctx_builds / self.ctx_requests
+
+    def summary(self) -> Dict[str, object]:
+        """Counters plus derived rates, ready for JSON."""
+        out: Dict[str, object] = self.snapshot()
+        out["ctx_hit_rate"] = round(self.ctx_hit_rate, 6)
+        if self.rta_calls:
+            out["iterations_per_rta_call"] = round(
+                self.rta_iterations / self.rta_calls, 4
+            )
+        return out
+
+
+#: The process-global counter singleton the hot paths increment.
+COUNTERS = PerfCounters()
+
+
+class StageTimes:
+    """Named wall-clock accumulators for the phases of a sweep."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def record(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: round(sec, 6) for name, sec in self._seconds.items()}
+
+
+def write_bench_json(path: str, payload: Dict[str, object]) -> None:
+    """Persist a ``BENCH_sweep.json``-style artifact (stable key order)."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")

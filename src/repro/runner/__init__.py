@@ -1,0 +1,26 @@
+"""Parallel sweep runner: deterministic fan-out of experiment cells.
+
+The sweeps in :mod:`repro.analysis` are embarrassingly parallel — every
+(utilization level, sample index) cell is independent — but determinism
+must not depend on execution order.  This package provides the two pieces
+that make that safe:
+
+* :func:`cell_rng` — a per-cell random generator derived from
+  ``np.random.SeedSequence(seed, spawn_key=cell_key)``, so the workload of
+  a cell is a pure function of ``(seed, cell_key)`` no matter which worker
+  runs it, in which order, or in which chunk;
+* :func:`chunked_map` — an order-preserving map over cells that runs
+  in-process for ``jobs=1`` and fans out over a fork-based process pool
+  otherwise, falling back to in-process execution if the pool cannot be
+  created or dies.  Perf counters accumulated by workers are returned as
+  deltas and merged into the parent's singleton, so telemetry totals are
+  meaningful at any ``jobs`` level.
+
+Because each cell's result depends only on ``(payload, item)``, the
+parallel path is bit-identical to the serial path by construction; the
+equivalence tests in ``tests/runner/`` pin this down end to end.
+"""
+
+from repro.runner.pool import cell_rng, chunked_map, jobs_arg, resolve_jobs
+
+__all__ = ["cell_rng", "chunked_map", "jobs_arg", "resolve_jobs"]
