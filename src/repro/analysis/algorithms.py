@@ -8,17 +8,45 @@ Lemma 4 is "schedulable" for the semi-partitioned algorithms.
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Callable, Dict, Union
 
 from repro.analysis.acceptance import AcceptanceTest
 from repro.core.bounds import ParametricUtilizationBound
+from repro.core.baselines.edf import partition_edf
+from repro.core.baselines.edf_split import partition_edf_split
 from repro.core.baselines.global_rm import rm_us_schedulable
 from repro.core.baselines.partitioned import FitHeuristic, partition_no_split
 from repro.core.baselines.spa import partition_spa1, partition_spa2
+from repro.core.partition import PartitionResult
 from repro.core.rmts import partition_rmts
 from repro.core.rmts_light import partition_rmts_light
+from repro.core.task import TaskSet
 
-__all__ = ["standard_algorithms", "rmts_test", "rmts_light_test"]
+__all__ = [
+    "PARTITIONERS",
+    "standard_algorithms",
+    "rmts_test",
+    "rmts_light_test",
+]
+
+#: A partitioner takes ``(taskset, processors)`` and returns a
+#: :class:`~repro.core.partition.PartitionResult`.
+Partitioner = Callable[[TaskSet, int], PartitionResult]
+
+#: Short-name registry of every partitioning algorithm, shared by the CLI
+#: (``python -m repro partition --algorithm``) and the admission-control
+#: service (``POST /v1/admit {"algorithm": ...}``) so both speak the same
+#: vocabulary.
+PARTITIONERS: Dict[str, Partitioner] = {
+    "rmts": lambda ts, m: partition_rmts(ts, m),
+    "rmts-star": lambda ts, m: partition_rmts(ts, m, dedicate_over_bound=False),
+    "rmts-light": lambda ts, m: partition_rmts_light(ts, m),
+    "spa1": partition_spa1,
+    "spa2": partition_spa2,
+    "p-rm": lambda ts, m: partition_no_split(ts, m),
+    "p-edf": lambda ts, m: partition_edf(ts, m),
+    "edf-ws": lambda ts, m: partition_edf_split(ts, m),
+}
 
 
 def rmts_test(

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro bounds tasks.json
     python -m repro simulate tasks.json --processors 4 --overhead 0.01
     python -m repro generate --n 12 --u-norm 0.8 --processors 4 -o tasks.json
+    python -m repro serve --port 8787 --queue-limit 64
 
 Task files are JSON: either a list of ``{"cost": C, "period": T}`` objects
 or a list of ``[C, T]`` pairs.
@@ -29,33 +30,19 @@ from repro.core.bounds import (
     light_task_threshold,
     ll_bound,
 )
-from repro.core.baselines import (
-    partition_no_split,
-    partition_spa1,
-    partition_spa2,
-)
-from repro.core.baselines.edf import partition_edf
-from repro.core.baselines.edf_split import partition_edf_split
-from repro.core.rmts import partition_rmts
-from repro.core.rmts_light import is_light_task_set, partition_rmts_light
+from repro.analysis.algorithms import PARTITIONERS
+from repro.core.rmts_light import is_light_task_set
 from repro.core.serialization import load_partition, save_partition
-from repro.core.task import Task, TaskSet
+from repro.core.task import TaskSet
 from repro.runner import jobs_arg
+from repro.service.validation import parse_taskset_payload
 from repro.sim.engine import simulate_partition
 from repro.taskgen.generators import TaskSetGenerator
 from repro.taskgen.workloads import build_workload, preset_names
 
-#: Algorithm registry for the CLI.
-ALGORITHMS = {
-    "rmts": lambda ts, m: partition_rmts(ts, m),
-    "rmts-star": lambda ts, m: partition_rmts(ts, m, dedicate_over_bound=False),
-    "rmts-light": lambda ts, m: partition_rmts_light(ts, m),
-    "spa1": partition_spa1,
-    "spa2": partition_spa2,
-    "p-rm": lambda ts, m: partition_no_split(ts, m),
-    "p-edf": lambda ts, m: partition_edf(ts, m),
-    "edf-ws": lambda ts, m: partition_edf_split(ts, m),
-}
+#: Algorithm registry for the CLI — the same table the admission service
+#: dispatches on (see :data:`repro.analysis.algorithms.PARTITIONERS`).
+ALGORITHMS = PARTITIONERS
 
 BOUNDS = {
     "ll": LiuLaylandBound,
@@ -66,25 +53,21 @@ BOUNDS = {
 
 
 def load_taskset(path: str) -> TaskSet:
-    """Read a task set from a JSON file (dicts or [C, T] pairs)."""
+    """Read a task set from a JSON file (dicts or [C, T] pairs).
+
+    Malformed files (negative costs, cost > period, non-numeric fields,
+    wrong shapes) raise the service's structured
+    :class:`~repro.service.validation.RequestValidationError`, whose
+    ``str()`` is a one-line summary naming every offending field — so the
+    CLI exits with code 2 and that line instead of a traceback, on exactly
+    the code path the admission service uses for request bodies.
+    """
     with open(path) as fh:
-        data = json.load(fh)
-    if not isinstance(data, list) or not data:
-        raise ValueError(f"{path}: expected a non-empty JSON list")
-    tasks: List[Task] = []
-    for row in data:
-        if isinstance(row, dict):
-            tasks.append(
-                Task(
-                    cost=float(row["cost"]),
-                    period=float(row["period"]),
-                    name=str(row.get("name", "")),
-                )
-            )
-        else:
-            cost, period = row
-            tasks.append(Task(cost=float(cost), period=float(period)))
-    return TaskSet(tasks)
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSON: {exc}") from None
+    return parse_taskset_payload(data, field_name=path)
 
 
 def cmd_bounds(args) -> int:
@@ -215,6 +198,23 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.handlers import ServiceConfig
+    from repro.service.server import run
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        analysis_timeout=args.analysis_timeout,
+        cache_size=args.cache_size,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        inject_delay=args.inject_delay,
+    )
+    return run(config)
+
+
 def cmd_generate(args) -> int:
     if args.preset:
         ts = build_workload(
@@ -309,6 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write wall-time + RTA-counter telemetry to this JSON file",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the online admission-control HTTP service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", "-p", type=int, default=8787,
+                         help="0 picks an ephemeral port")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="max in-flight requests before 429 shedding")
+    p_serve.add_argument("--analysis-timeout", type=float, default=5.0,
+                         help="per-request analysis deadline (seconds); "
+                         "past it admit falls back to the bound-only "
+                         "verdict marked degraded")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="LRU result-cache capacity (0 disables)")
+    p_serve.add_argument(
+        "--jobs", "-j", type=jobs_arg, default=1,
+        help="worker processes for /v1/batch (0 = all cores)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=256,
+                         help="max items accepted per /v1/batch request")
+    p_serve.add_argument("--inject-delay", type=float, default=0.0,
+                         help=argparse.SUPPRESS)  # fault injection for tests
+    p_serve.set_defaults(func=cmd_serve)
 
     p_gen = sub.add_parser("generate", help="generate a random task set")
     p_gen.add_argument("--n", type=int, default=12)

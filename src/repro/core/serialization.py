@@ -78,10 +78,26 @@ def _jsonable(obj):
     return str(obj)
 
 
+#: Dispatching rules the simulator understands (see
+#: :attr:`repro.core.partition.PartitionResult.scheduler`).
+KNOWN_SCHEDULERS = ("fixed", "edf")
+
+
 def partition_from_dict(data: Dict) -> PartitionResult:
-    """Inverse of :func:`partition_to_dict`."""
+    """Inverse of :func:`partition_to_dict`.
+
+    Rejects payloads whose ``"scheduler"`` names a dispatching rule this
+    toolkit does not implement — silently loading one would validate and
+    simulate the partition under the wrong runtime semantics.
+    """
     if data.get("format") != "repro-partition-v1":
         raise ValueError("not a repro partition file (missing format tag)")
+    scheduler = data.get("scheduler", "fixed")
+    if scheduler not in KNOWN_SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}: this toolkit implements "
+            f"{list(KNOWN_SCHEDULERS)}"
+        )
     taskset = TaskSet.from_dicts(data["tasks"])
     by_tid = {t.tid: t for t in taskset}
     processors: List[ProcessorState] = []
@@ -105,13 +121,18 @@ def partition_from_dict(data: Dict) -> PartitionResult:
                 )
             )
         processors.append(proc)
+    info = dict(data.get("info", {}))
+    if scheduler != "fixed":
+        # The scheduler property reads info; keep the top-level tag
+        # authoritative even for hand-written payloads that omit it there.
+        info.setdefault("scheduler", scheduler)
     return PartitionResult(
         algorithm=str(data["algorithm"]),
         taskset=taskset,
         processors=processors,
         success=bool(data["success"]),
         unassigned_tids=[int(t) for t in data.get("unassigned_tids", [])],
-        info=dict(data.get("info", {})),
+        info=info,
     )
 
 

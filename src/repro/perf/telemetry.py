@@ -31,6 +31,14 @@ _FIELDS = (
     "ctx_builds",         # lookups that had to (re)build the context
     "maxsplit_calls",     # MaxSplit searches (both variants)
     "legacy_admissions",  # full is_schedulable() rebuild-per-probe calls
+    # -- admission-control service (repro.service) --------------------------
+    "svc_requests",       # HTTP requests handled (all endpoints)
+    "svc_cache_hits",     # analysis results served from the LRU cache
+    "svc_cache_misses",   # analysis results that had to be computed
+    "svc_degraded",       # responses downgraded to the bound-only verdict
+    "svc_timeouts",       # analyses that hit the per-request deadline
+    "svc_backpressure",   # requests shed with 429/503 (queue full / drain)
+    "svc_validation_errors",  # requests rejected by structured validation
 )
 
 

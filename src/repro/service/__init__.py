@@ -1,0 +1,37 @@
+"""Online admission-control service.
+
+Wraps the partitioning algorithms and parametric utilization bounds in a
+stdlib-only asyncio HTTP server (``python -m repro serve``), turning the
+one-shot analyses into *schedulability-as-a-service*: a deployment asks
+``POST /v1/admit`` whether a task set fits on ``m`` processors and gets the
+serialized partition back, with an LRU result cache, bounded-queue
+backpressure, per-request analysis timeouts that degrade to the cheap
+utilization-bound verdict, and a ``/metrics`` endpoint backed by
+:mod:`repro.perf.telemetry`.
+
+Layering::
+
+    server.py    asyncio HTTP front end: routing, backpressure, drain
+    handlers.py  request -> analysis -> response (cache, timeout fallback)
+    cache.py     canonical task-set hashing + LRU result cache
+    validation.py  structured request validation (shared with the CLI)
+    loadgen.py   load-generating client / serving benchmark
+"""
+
+from repro.service.cache import LRUCache, admit_cache_key
+from repro.service.handlers import AdmissionService, ServiceConfig
+from repro.service.validation import (
+    RequestValidationError,
+    parse_admit_request,
+    parse_taskset_payload,
+)
+
+__all__ = [
+    "AdmissionService",
+    "ServiceConfig",
+    "LRUCache",
+    "admit_cache_key",
+    "RequestValidationError",
+    "parse_admit_request",
+    "parse_taskset_payload",
+]

@@ -1,0 +1,363 @@
+"""Load generator / serving benchmark for the admission-control service.
+
+``python -m repro.service.loadgen`` drives a running server (or spawns one
+with ``--spawn``) with task sets from :mod:`repro.taskgen` and reports
+achieved RPS plus latency percentiles — the repo's serving benchmark::
+
+    python -m repro serve &
+    python -m repro.service.loadgen --requests 200 --concurrency 8 \
+        --json benchmarks/results/BENCH_service.json
+
+Requests cycle through a pool of ``--distinct`` generated task sets, so a
+run with more requests than distinct sets exercises the result cache; the
+report includes the server's ``/metrics`` snapshot (cache hit rate,
+degraded/timeout totals) next to the client-side numbers.
+
+Stdlib + repro only: the HTTP client is a minimal keep-alive HTTP/1.1
+implementation over ``asyncio.open_connection``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import socket
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.telemetry import write_bench_json
+from repro.runner import cell_rng
+from repro.taskgen.generators import TaskSetGenerator
+
+__all__ = ["main", "run_loadgen"]
+
+
+# ---------------------------------------------------------------------------
+# Minimal asyncio HTTP/1.1 client (keep-alive)
+# ---------------------------------------------------------------------------
+
+
+class _Connection:
+    """One persistent connection to the service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self.reader = self.writer = None
+
+    async def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Send one request; reconnect once if the connection went stale."""
+        if self.writer is None:
+            await self.connect()
+        try:
+            return await self._roundtrip(method, path, body)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(method, path, body)
+
+    async def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        assert self.reader is not None and self.writer is not None
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        )
+        self.writer.write(head.encode("latin-1") + payload)
+        await self.writer.drain()
+
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self.reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self.reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, data
+
+
+# ---------------------------------------------------------------------------
+# Workload construction
+# ---------------------------------------------------------------------------
+
+
+def build_payloads(args: argparse.Namespace) -> List[bytes]:
+    """Pre-encode one JSON body per request (cycling distinct task sets)."""
+    gen = TaskSetGenerator(n=args.n, period_model=args.periods)
+    distinct = max(1, min(args.distinct, args.requests))
+    tasksets = [
+        gen.generate(
+            u_norm=args.u_norm,
+            processors=args.processors,
+            seed=cell_rng(args.seed, i),
+        )
+        for i in range(distinct)
+    ]
+    bodies: List[bytes] = []
+    if args.endpoint == "batch":
+        sets_per_batch = max(1, args.batch_size)
+        for i in range(args.requests):
+            items = [
+                {"tasks": tasksets[(i * sets_per_batch + j) % distinct].to_dicts()}
+                for j in range(sets_per_batch)
+            ]
+            bodies.append(json.dumps({
+                "processors": args.processors,
+                "algorithm": args.algorithm,
+                "items": items,
+            }).encode())
+        return bodies
+    for i in range(args.requests):
+        body: Dict[str, object] = {
+            "tasks": tasksets[i % distinct].to_dicts(),
+            "processors": args.processors,
+        }
+        if args.endpoint == "admit":
+            body["algorithm"] = args.algorithm
+        bodies.append(json.dumps(body).encode())
+    return bodies
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+async def _drive(args: argparse.Namespace) -> Dict[str, object]:
+    path = f"/v1/{args.endpoint}"
+    payloads = build_payloads(args)
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    cache_header_hits = 0
+    degraded = 0
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index, cache_header_hits, degraded
+        conn = _Connection(args.host, args.port)
+        await conn.connect()
+        try:
+            while True:
+                nonlocal_index = next_index
+                if nonlocal_index >= len(payloads):
+                    return
+                next_index = nonlocal_index + 1
+                t0 = time.perf_counter()
+                status, headers, data = await conn.request(
+                    "POST", path, payloads[nonlocal_index]
+                )
+                latencies.append((time.perf_counter() - t0) * 1e3)
+                statuses[status] = statuses.get(status, 0) + 1
+                if headers.get("x-repro-cache") == "hit":
+                    cache_header_hits += 1
+                if status == 200 and b'"degraded": true' in data:
+                    degraded += 1
+        finally:
+            await conn.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(args.concurrency)))
+    elapsed = time.perf_counter() - started
+
+    monitor = _Connection(args.host, args.port)
+    await monitor.connect()
+    _, _, metrics_raw = await monitor.request("GET", "/metrics")
+    await monitor.close()
+    server_metrics = json.loads(metrics_raw)
+
+    data = sorted(latencies)
+
+    def pct(q: float) -> float:
+        if not data:
+            return 0.0
+        return round(data[min(len(data) - 1, int(q * (len(data) - 1) + 0.5))], 4)
+
+    return {
+        "kind": "service_loadgen",
+        "config": {
+            "endpoint": args.endpoint,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "distinct_tasksets": min(args.distinct, args.requests),
+            "n": args.n,
+            "processors": args.processors,
+            "algorithm": args.algorithm,
+            "u_norm": args.u_norm,
+            "periods": args.periods,
+            "batch_size": args.batch_size if args.endpoint == "batch" else None,
+            "seed": args.seed,
+        },
+        "client": {
+            "elapsed_seconds": round(elapsed, 4),
+            "rps": round(args.requests / elapsed, 2) if elapsed else 0.0,
+            "status_counts": {str(k): v for k, v in sorted(statuses.items())},
+            "latency_ms": {
+                "p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99),
+                "max": data[-1] if data else 0.0,
+            },
+            "cache_hit_responses": cache_header_hits,
+            "degraded_responses": degraded,
+        },
+        "server_metrics": server_metrics,
+    }
+
+
+def _free_port(host: str) -> int:
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_server(args: argparse.Namespace) -> subprocess.Popen:
+    """Start ``python -m repro serve`` and wait until it accepts."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", args.host, "--port", str(args.port),
+        "--queue-limit", str(args.queue_limit),
+        "--analysis-timeout", str(args.analysis_timeout),
+        "--jobs", str(args.jobs),
+    ]
+    if args.inject_delay:
+        cmd += ["--inject-delay", str(args.inject_delay)]
+    proc = subprocess.Popen(cmd)
+    deadline = time.time() + 15.0
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"spawned server exited early with code {proc.returncode}"
+            )
+        try:
+            with socket.create_connection((args.host, args.port), timeout=0.2):
+                return proc
+        except OSError:
+            time.sleep(0.05)
+    proc.terminate()
+    raise RuntimeError("spawned server did not start accepting in time")
+
+
+def run_loadgen(args: argparse.Namespace) -> Dict[str, object]:
+    """Run the load test (optionally around a spawned server)."""
+    proc: Optional[subprocess.Popen] = None
+    if args.spawn:
+        if not args.port:
+            args.port = _free_port(args.host)
+        proc = _spawn_server(args)
+    try:
+        report = asyncio.run(_drive(args))
+    finally:
+        if proc is not None:
+            proc.terminate()  # SIGTERM → clean drain path
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    if proc is not None:
+        report["server_exit_code"] = proc.returncode
+    if args.json:
+        write_bench_json(args.json, report)
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Load generator / benchmark for the admission service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="server port (with --spawn, 0 = pick free)")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--endpoint", choices=["admit", "bounds", "batch"],
+                        default="admit")
+    parser.add_argument("--distinct", type=int, default=25,
+                        help="distinct task sets cycled through the run "
+                        "(requests beyond this hit the cache)")
+    parser.add_argument("--n", type=int, default=12)
+    parser.add_argument("--processors", "-m", type=int, default=4)
+    parser.add_argument("--algorithm", default="rmts")
+    parser.add_argument("--u-norm", type=float, default=0.75)
+    parser.add_argument(
+        "--periods",
+        choices=["loguniform", "uniform", "discrete", "harmonic", "kchain"],
+        default="loguniform",
+    )
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None,
+                        help="write the report to this JSON file "
+                        "(e.g. benchmarks/results/BENCH_service.json)")
+    parser.add_argument("--spawn", action="store_true",
+                        help="spawn a server for the duration of the run")
+    # forwarded to the spawned server only:
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--analysis-timeout", type=float, default=5.0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--inject-delay", type=float, default=0.0,
+                        help="fault injection on the spawned server")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        report = run_loadgen(args)
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = report["client"]
+    print(
+        f"{args.endpoint}: {args.requests} requests, "
+        f"concurrency={args.concurrency} -> "
+        f"{client['rps']} req/s, "
+        f"p50={client['latency_ms']['p50']}ms "
+        f"p99={client['latency_ms']['p99']}ms, "
+        f"statuses={client['status_counts']}, "
+        f"cache_hits={client['cache_hit_responses']}, "
+        f"degraded={client['degraded_responses']}"
+    )
+    if args.json:
+        print(f"report written to {args.json}")
+    errors = sum(
+        v for k, v in client["status_counts"].items() if int(k) >= 500
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,475 @@
+"""Stdlib-only asyncio HTTP server for the admission-control service.
+
+``python -m repro serve`` binds this server.  Endpoints:
+
+* ``POST /v1/admit``  — one task set + ``m`` + algorithm → verdict and the
+  serialized partition (:mod:`repro.core.serialization` format);
+* ``POST /v1/bounds`` — D-PUB evaluation for one task set;
+* ``POST /v1/batch``  — many admit items, fanned out over the
+  :mod:`repro.runner` pool;
+* ``GET /healthz``    — liveness + drain state;
+* ``GET /metrics``    — request counts, latency percentiles, cache stats
+  and the :mod:`repro.perf.telemetry` counters, as JSON.
+
+Production behaviours, in the order a request meets them:
+
+1. **Backpressure** — at most ``queue_limit`` requests in flight; beyond
+   that the server answers ``429`` immediately (``503`` while draining)
+   instead of queueing unboundedly.
+2. **Validation** — structured 400 bodies listing every bad field
+   (:mod:`repro.service.validation`); malformed JSON never raises past the
+   handler.
+3. **Deadline + degradation** — analyses run in a worker thread under
+   ``analysis_timeout``; on deadline the admit verdict falls back to the
+   paper's utilization-bound test and the body is marked
+   ``"degraded": true`` (a sound sufficient-only answer beats a 504).
+4. **Caching** — computed bodies are stored in the canonical-hash LRU;
+   repeat requests are served byte-identically with ``X-Repro-Cache: hit``.
+5. **Clean drain** — SIGTERM/SIGINT stop the listener, finish in-flight
+   work, then exit 0.
+
+The HTTP surface is deliberately minimal (HTTP/1.1, ``Content-Length``
+bodies, keep-alive) — enough for load balancers, ``curl`` and the bundled
+:mod:`repro.service.loadgen`, with zero dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.perf.telemetry import COUNTERS
+from repro.service.handlers import AdmissionService, ServiceConfig
+from repro.service.validation import RequestValidationError
+
+__all__ = ["AdmissionServer", "run"]
+
+_JSON = {"Content-Type": "application/json"}
+
+
+class _HTTPError(Exception):
+    """Transport-level protocol error → immediate error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+
+@dataclass
+class _Stats:
+    """Per-instance request accounting behind ``/metrics``."""
+
+    total: int = 0
+    by_status: Dict[int, int] = field(default_factory=dict)
+    by_endpoint: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=4096))
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        self.total += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+        self.latencies_ms.append(seconds * 1e3)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        if not self.latencies_ms:
+            return {"count": 0}
+        data = sorted(self.latencies_ms)
+
+        def pct(q: float) -> float:
+            idx = min(len(data) - 1, int(q * (len(data) - 1) + 0.5))
+            return round(data[idx], 4)
+
+        return {
+            "count": len(data),
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "max": round(data[-1], 4),
+        }
+
+
+class AdmissionServer:
+    """One listening admission-control server instance.
+
+    Usable three ways: :func:`run` (blocking, what the CLI does),
+    ``await start()`` / ``await stop()`` inside an existing event loop
+    (what the tests do), or ``await serve_until_shutdown()`` which also
+    installs signal handlers.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.service = AdmissionService(self.config)
+        self.stats = _Stats()
+        self.port: Optional[int] = None  # resolved after bind (port 0 ok)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight = 0
+        self._draining = False
+        # Created in start() so they bind to the serving loop even on
+        # Python 3.9, where Event() captures a loop at construction.
+        self._shutdown: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._started_at = time.monotonic()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, min(8, self.config.queue_limit)),
+            thread_name_prefix="repro-analysis",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, *, drain_timeout: float = 10.0) -> None:
+        """Stop accepting, wait for in-flight requests, release resources."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._idle is not None:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=drain_timeout)
+            except asyncio.TimeoutError:
+                pass  # give up on stragglers; executor shutdown is non-blocking
+        self._executor.shutdown(wait=False)
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (flips to drain mode)."""
+        self._draining = True
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Start, install SIGTERM/SIGINT handlers, serve, drain, return."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        installed: List[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # non-Unix loops
+                pass
+        print(
+            f"admission service listening on "
+            f"http://{self.config.host}:{self.port} "
+            f"(queue_limit={self.config.queue_limit}, "
+            f"analysis_timeout={self.config.analysis_timeout:g}s, "
+            f"cache_size={self.config.cache_size}, jobs={self.config.jobs})",
+            flush=True,
+        )
+        try:
+            await self._shutdown.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+            print("admission service drained, bye", flush=True)
+
+    # -- connection / protocol plumbing ------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HTTPError(400, "malformed request line")
+        method, path, version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _HTTPError(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise _HTTPError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise _HTTPError(400, "malformed Content-Length")
+        if length > self.config.max_body_bytes:
+            raise _HTTPError(
+                413, f"body too large: {length} > {self.config.max_body_bytes}"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method, path, version, headers, body)
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, object],
+        *,
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(status, "Unknown")
+        payload = json.dumps(body).encode("utf-8") + b"\n"
+        headers = dict(_JSON)
+        headers["Content-Length"] = str(len(payload))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        if extra_headers:
+            headers.update(extra_headers)
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HTTPError as exc:
+                    await self._write_response(
+                        writer, exc.status,
+                        {"error": "protocol", "message": exc.message},
+                        keep_alive=False,
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                if request is None:
+                    break
+                status, body, extra = await self._handle_request(request)
+                keep_alive = request.keep_alive and not self._draining
+                await self._write_response(
+                    writer, status, body,
+                    keep_alive=keep_alive, extra_headers=extra,
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle_request(
+        self, request: _Request
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        start = time.perf_counter()
+        COUNTERS.svc_requests += 1
+        endpoint = f"{request.method} {request.path}"
+
+        # Load shedding happens before any work is queued.
+        if request.method == "POST":
+            if self._draining:
+                COUNTERS.svc_backpressure += 1
+                status, body, extra = 503, {"error": "draining"}, None
+                self.stats.record(endpoint, status, time.perf_counter() - start)
+                return status, body, extra
+            if self._inflight >= self.config.queue_limit:
+                COUNTERS.svc_backpressure += 1
+                status = 429
+                body = {
+                    "error": "backpressure",
+                    "inflight": self._inflight,
+                    "queue_limit": self.config.queue_limit,
+                }
+                self.stats.record(endpoint, status, time.perf_counter() - start)
+                return status, body, {"Retry-After": "1"}
+
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            status, body, extra = await self._dispatch(request)
+        except RequestValidationError as exc:
+            COUNTERS.svc_validation_errors += 1
+            status, body, extra = 400, exc.to_payload(), None
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            status, body, extra = 500, {
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }, None
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        self.stats.record(endpoint, status, time.perf_counter() - start)
+        return status, body, extra
+
+    async def _dispatch(
+        self, request: _Request
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, self._healthz_body(), None
+        if route == ("GET", "/metrics"):
+            return 200, self.metrics_body(), None
+        if route == ("POST", "/v1/admit"):
+            return await self._handle_admit(request)
+        if route == ("POST", "/v1/bounds"):
+            return await self._handle_bounds(request)
+        if route == ("POST", "/v1/batch"):
+            return await self._handle_batch(request)
+        if request.path in ("/healthz", "/metrics", "/v1/admit", "/v1/bounds",
+                            "/v1/batch"):
+            return 405, {"error": "method not allowed"}, None
+        return 404, {"error": "not found", "path": request.path}, None
+
+    @staticmethod
+    def _parse_json(request: _Request) -> object:
+        try:
+            return json.loads(request.body or b"null")
+        except json.JSONDecodeError as exc:
+            raise RequestValidationError(
+                [{"field": "body", "message": f"invalid JSON: {exc}"}]
+            ) from None
+
+    async def _run_with_deadline(self, fn, fallback):
+        """Run *fn* in a worker thread under the analysis deadline.
+
+        Returns ``(result, degraded)``.  On deadline the (cheap, loop-side)
+        *fallback* supplies the answer; the orphaned worker thread finishes
+        in the background and its result is discarded.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            result = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, fn),
+                timeout=self.config.analysis_timeout,
+            )
+            return result, False
+        except asyncio.TimeoutError:
+            COUNTERS.svc_timeouts += 1
+            return fallback(), True
+
+    async def _handle_admit(self, request: _Request):
+        payload = self._parse_json(request)
+        admit_request, key = self.service.prepare_admit(payload)
+        found, cached = self.service.cache.get(key)
+        if found:
+            return 200, cached, {"X-Repro-Cache": "hit"}
+        body, degraded = await self._run_with_deadline(
+            lambda: self.service.compute_admit(admit_request),
+            lambda: self.service.degraded_admit(admit_request),
+        )
+        if not degraded:
+            self.service.cache.put(key, body)
+        return 200, body, {"X-Repro-Cache": "miss"}
+
+    async def _handle_bounds(self, request: _Request):
+        payload = self._parse_json(request)
+        bounds_request, key = self.service.prepare_bounds(payload)
+        found, cached = self.service.cache.get(key)
+        if found:
+            return 200, cached, {"X-Repro-Cache": "hit"}
+        body, degraded = await self._run_with_deadline(
+            lambda: self.service.compute_bounds(bounds_request),
+            lambda: {"error": "deadline", "degraded": True},
+        )
+        if not degraded:
+            self.service.cache.put(key, body)
+        return 200, body, {"X-Repro-Cache": "miss"}
+
+    async def _handle_batch(self, request: _Request):
+        payload = self._parse_json(request)
+        plan = self.service.prepare_batch(payload)
+        pending = len(plan.pending_indices())
+        # Deadline scales with the amount of uncached work in the batch.
+        deadline = self.config.analysis_timeout * max(1, pending)
+        loop = asyncio.get_running_loop()
+        degraded = False
+        if pending:
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(
+                        self._executor, lambda: self.service.compute_batch(plan)
+                    ),
+                    timeout=deadline,
+                )
+            except asyncio.TimeoutError:
+                COUNTERS.svc_timeouts += 1
+                self.service.degraded_batch(plan)
+                degraded = True
+        body = self.service.batch_body(plan)
+        body["degraded"] = degraded
+        return 200, body, None
+
+    # -- introspection bodies ----------------------------------------------
+
+    def _healthz_body(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "queue_limit": self.config.queue_limit,
+        }
+
+    def metrics_body(self) -> Dict[str, object]:
+        """The ``/metrics`` JSON document."""
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "requests": {
+                "total": self.stats.total,
+                "by_status": {str(k): v for k, v in
+                              sorted(self.stats.by_status.items())},
+                "by_endpoint": dict(sorted(self.stats.by_endpoint.items())),
+            },
+            "latency_ms": self.stats.latency_percentiles(),
+            "cache": self.service.cache.stats(),
+            "degraded_total": COUNTERS.svc_degraded,
+            "timeouts_total": COUNTERS.svc_timeouts,
+            "backpressure_total": COUNTERS.svc_backpressure,
+            "validation_errors_total": COUNTERS.svc_validation_errors,
+            "counters": COUNTERS.summary(),
+        }
+
+
+def run(config: Optional[ServiceConfig] = None) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    server = AdmissionServer(config)
+    try:
+        asyncio.run(server.serve_until_shutdown())
+    except KeyboardInterrupt:  # pragma: no cover — belt and braces
+        pass
+    return 0

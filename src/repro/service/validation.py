@@ -1,0 +1,216 @@
+"""Structured validation of untrusted request payloads.
+
+Every malformed field becomes a ``{"field", "message"}`` record instead of
+a traceback: the service returns the full list as a 400 response body, and
+the CLI prints a one-line summary and exits with code 2.  Validation is
+*total* — all errors in a payload are collected before reporting, so a
+client can fix a request in one round trip.
+
+The low-level coercions (finite floats, honest ints) live in
+:mod:`repro._util.validation`; this module adds the task-set- and
+request-shaped layers on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro._util.floats import EPS
+from repro._util.validation import as_finite_float, as_int
+from repro.analysis.algorithms import PARTITIONERS
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "MAX_TASKS",
+    "MAX_PROCESSORS",
+    "RequestValidationError",
+    "AdmitRequest",
+    "parse_taskset_payload",
+    "parse_admit_request",
+]
+
+#: Hard caps that keep one request from monopolizing the service.
+MAX_TASKS = 1024
+MAX_PROCESSORS = 4096
+
+
+class RequestValidationError(ValueError):
+    """A payload failed validation; carries all field-level errors.
+
+    ``str()`` is a single line (first error plus a count of the rest) so
+    CLI callers can print it directly; :meth:`to_payload` is the JSON body
+    the service returns with status 400.
+    """
+
+    def __init__(self, errors: Sequence[Dict[str, str]]) -> None:
+        self.errors: List[Dict[str, str]] = list(errors)
+        first = self.errors[0] if self.errors else {"field": "?", "message": "invalid"}
+        rest = len(self.errors) - 1
+        line = f"invalid request: {first['field']}: {first['message']}"
+        if rest > 0:
+            line += f" (+{rest} more error{'s' if rest > 1 else ''})"
+        super().__init__(line)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-shaped error body (stable keys, no tracebacks)."""
+        return {"error": "validation", "details": self.errors}
+
+
+class _Collector:
+    """Accumulates field errors; raises once at the end."""
+
+    def __init__(self) -> None:
+        self.errors: List[Dict[str, str]] = []
+
+    def add(self, field_name: str, message: str) -> None:
+        self.errors.append({"field": field_name, "message": message})
+
+    def check(self) -> None:
+        if self.errors:
+            raise RequestValidationError(self.errors)
+
+
+def _parse_task_row(row: object, where: str, errs: _Collector) -> Optional[Task]:
+    """Validate one task row (dict or [C, T] pair); None if invalid."""
+    name = ""
+    if isinstance(row, dict):
+        cost_raw, period_raw = row.get("cost"), row.get("period")
+        if cost_raw is None:
+            errs.add(f"{where}.cost", "missing required field")
+        if period_raw is None:
+            errs.add(f"{where}.period", "missing required field")
+        if cost_raw is None or period_raw is None:
+            return None
+        name_raw = row.get("name", "")
+        if not isinstance(name_raw, str):
+            errs.add(f"{where}.name", f"must be a string, got {name_raw!r}")
+            return None
+        name = name_raw
+    elif isinstance(row, (list, tuple)) and len(row) == 2:
+        cost_raw, period_raw = row
+    else:
+        errs.add(where, 'must be {"cost": C, "period": T} or a [C, T] pair')
+        return None
+
+    ok = True
+    try:
+        cost = as_finite_float(f"{where}.cost", cost_raw)
+    except ValueError as exc:
+        errs.add(f"{where}.cost", str(exc))
+        ok = False
+    try:
+        period = as_finite_float(f"{where}.period", period_raw)
+    except ValueError as exc:
+        errs.add(f"{where}.period", str(exc))
+        ok = False
+    if not ok:
+        return None
+
+    if cost <= 0:
+        errs.add(f"{where}.cost", f"must be positive, got {cost!r}")
+        return None
+    if period <= 0:
+        errs.add(f"{where}.period", f"must be positive, got {period!r}")
+        return None
+    if cost > period * (1.0 + EPS):
+        errs.add(where, f"utilization exceeds 1: cost={cost!r} > period={period!r}")
+        return None
+    return Task(cost=cost, period=period, name=name)
+
+
+def parse_taskset_payload(
+    data: object,
+    *,
+    field_name: str = "tasks",
+    max_tasks: int = MAX_TASKS,
+) -> TaskSet:
+    """Validate a JSON task list and build a :class:`TaskSet`.
+
+    Accepts the same shapes as the CLI task files: a list of
+    ``{"cost": C, "period": T}`` objects (optional ``"name"``) or
+    ``[C, T]`` pairs.  Raises :class:`RequestValidationError` listing
+    *every* offending row.
+    """
+    errs = _Collector()
+    if not isinstance(data, list) or not data:
+        errs.add(field_name, "expected a non-empty JSON list of tasks")
+        errs.check()
+    if len(data) > max_tasks:
+        errs.add(field_name, f"too many tasks: {len(data)} > limit {max_tasks}")
+        errs.check()
+    tasks: List[Task] = []
+    for i, row in enumerate(data):
+        task = _parse_task_row(row, f"{field_name}[{i}]", errs)
+        if task is not None:
+            tasks.append(task)
+    errs.check()
+    return TaskSet(tasks)
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """A validated ``/v1/admit`` request."""
+
+    taskset: TaskSet
+    processors: int
+    algorithm: str
+    #: the raw (already validated) task rows, kept for cache keying and
+    #: for re-dispatch to pool workers without another parse.
+    raw_tasks: List[object] = field(default_factory=list, compare=False)
+
+
+def parse_admit_request(
+    payload: object, *, field_prefix: str = ""
+) -> AdmitRequest:
+    """Validate a full admit/bounds request body.
+
+    Expected shape::
+
+        {"tasks": [...], "processors": 4, "algorithm": "rmts"}
+
+    ``algorithm`` defaults to ``"rmts"`` and must name an entry in
+    :data:`repro.analysis.algorithms.PARTITIONERS`.
+    """
+    p = field_prefix
+    errs = _Collector()
+    if not isinstance(payload, dict):
+        errs.add(p or "body", "expected a JSON object")
+        errs.check()
+
+    algorithm = payload.get("algorithm", "rmts")
+    if not isinstance(algorithm, str) or algorithm not in PARTITIONERS:
+        errs.add(
+            f"{p}algorithm",
+            f"unknown algorithm {algorithm!r}; "
+            f"choose one of {sorted(PARTITIONERS)}",
+        )
+
+    processors_raw = payload.get("processors")
+    processors = 0
+    if processors_raw is None:
+        errs.add(f"{p}processors", "missing required field")
+    else:
+        try:
+            processors = as_int(
+                f"{p}processors", processors_raw, low=1, high=MAX_PROCESSORS
+            )
+        except ValueError as exc:
+            errs.add(f"{p}processors", str(exc))
+
+    taskset: Optional[TaskSet] = None
+    try:
+        taskset = parse_taskset_payload(
+            payload.get("tasks"), field_name=f"{p}tasks"
+        )
+    except RequestValidationError as exc:
+        errs.errors.extend(exc.errors)
+
+    errs.check()
+    assert taskset is not None
+    return AdmitRequest(
+        taskset=taskset,
+        processors=processors,
+        algorithm=algorithm,
+        raw_tasks=list(payload["tasks"]),
+    )

@@ -98,3 +98,79 @@ class TestFileIO:
         path = tmp_path / "part.json"
         save_partition(part, str(path))  # must not raise
         assert load_partition(str(path)).success
+
+
+class TestRoundtripHardening:
+    """PR-2 hardening: failure artifacts, pre-assignment and splits survive."""
+
+    def test_unassigned_tids_preserved_on_failure(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 1)  # cannot fit on 1 proc
+        assert not part.success and part.unassigned_tids
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.success is False
+        assert again.unassigned_tids == part.unassigned_tids
+
+    def test_pre_assigned_heavy_task_preserved(self):
+        # One heavy task with little lower-priority load -> pre-assigned
+        # processor (see tests/core/test_rmts.py); the role, tid and the
+        # pre-assign info record must all survive a round trip.
+        ts = TaskSet.from_pairs([(6, 10), (1, 20), (1, 40)])
+        part = partition_rmts(ts, 2)
+        assert part.info["pre_assigned_tids"] == [0]
+        again = partition_from_dict(partition_to_dict(part))
+        assert again.info["pre_assigned_tids"] == [0]
+        pre_before = [
+            (p.index, p.role.value, p.pre_assigned_tid)
+            for p in part.processors if p.pre_assigned_tid is not None
+        ]
+        pre_after = [
+            (p.index, p.role.value, p.pre_assigned_tid)
+            for p in again.processors if p.pre_assigned_tid is not None
+        ]
+        assert pre_before and pre_after == pre_before
+
+    def test_split_subtask_ordering_preserved(self, tight_harmonic_set):
+        part = partition_rmts(tight_harmonic_set, 2)
+        assert part.split_tids(), "fixture must force a split"
+        again = partition_from_dict(partition_to_dict(part))
+        for tid in part.split_tids():
+            before = part.split_views()[tid].sorted_pieces()
+            after = again.split_views()[tid].sorted_pieces()
+            assert [p.index for p in after] == [p.index for p in before]
+            assert [p.kind for p in after] == [p.kind for p in before]
+            assert [p.cost for p in after] == pytest.approx(
+                [p.cost for p in before]
+            )
+            assert [p.deadline for p in after] == pytest.approx(
+                [p.deadline for p in before]
+            )
+        # migration path (host processor order) identical
+        for tid in part.split_tids():
+            assert again.processors_hosting(tid) == part.processors_hosting(tid)
+
+
+class TestSchedulerValidation:
+    def test_unknown_scheduler_rejected(self, harmonic_set, tmp_path):
+        part = partition_rmts(harmonic_set, 2)
+        data = partition_to_dict(part)
+        data["scheduler"] = "wfq"
+        with pytest.raises(ValueError, match="unknown scheduler 'wfq'"):
+            partition_from_dict(data)
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            load_partition(str(path))
+
+    def test_known_schedulers_accepted(self, harmonic_set):
+        part = partition_rmts(harmonic_set, 2)
+        data = partition_to_dict(part)
+        for scheduler in ("fixed", "edf"):
+            data["scheduler"] = scheduler
+            assert partition_from_dict(data).scheduler == scheduler
+
+    def test_top_level_edf_tag_authoritative(self):
+        ts = TaskSet.from_pairs([(5.2, 10)] * 3)
+        part = partition_edf_split(ts, 2)
+        data = partition_to_dict(part)
+        del data["info"]["scheduler"]  # hand-written payloads may omit it
+        assert partition_from_dict(data).scheduler == "edf"

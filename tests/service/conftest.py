@@ -1,0 +1,75 @@
+"""Shared helpers for service tests: in-loop server + raw HTTP client.
+
+The endpoint tests run the real :class:`AdmissionServer` on an ephemeral
+port inside a single ``asyncio.run`` per test, talking to it over actual
+sockets with a minimal client — no HTTP library, same as production.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.service.handlers import ServiceConfig
+from repro.service.server import AdmissionServer
+
+
+async def http_request(
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[object] = None,
+    host: str = "127.0.0.1",
+) -> Tuple[int, Dict[str, str], object]:
+    """One-shot request; returns (status, headers, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode() + payload
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    data = await reader.readexactly(int(headers.get("content-length", "0")))
+    writer.close()
+    with contextlib.suppress(Exception):
+        await writer.wait_closed()
+    return status, headers, json.loads(data) if data else None
+
+
+@contextlib.asynccontextmanager
+async def running_server(**config_kwargs):
+    """Async context manager yielding a started server on a free port."""
+    config_kwargs.setdefault("port", 0)
+    server = AdmissionServer(ServiceConfig(**config_kwargs))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop(drain_timeout=5.0)
+
+
+def run_async(coro):
+    """Run a test coroutine to completion (no pytest-asyncio dependency)."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def tasks_payload():
+    """A schedulable 4-task harmonic set as raw request rows."""
+    return [[1, 4], [2, 8], [6, 16], [8, 32]]

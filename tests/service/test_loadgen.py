@@ -1,0 +1,65 @@
+"""Loadgen workload construction tests + end-to-end serving smoke."""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import build_parser, build_payloads, run_loadgen
+
+pytestmark = pytest.mark.service
+
+
+class TestPayloads:
+    def _args(self, **overrides):
+        defaults = ["--requests", "10", "--distinct", "3"]
+        args = build_parser().parse_args(defaults)
+        for key, value in overrides.items():
+            setattr(args, key, value)
+        return args
+
+    def test_distinct_sets_cycle(self):
+        payloads = build_payloads(self._args())
+        assert len(payloads) == 10
+        # request i uses task set i % distinct -> exact repetition cycle
+        assert payloads[0] == payloads[3] == payloads[6]
+        assert payloads[0] != payloads[1]
+
+    def test_payloads_are_valid_admit_bodies(self):
+        from repro.service.validation import parse_admit_request
+
+        for blob in build_payloads(self._args()):
+            request = parse_admit_request(json.loads(blob))
+            assert len(request.taskset) == 12
+
+    def test_deterministic_across_runs(self):
+        assert build_payloads(self._args()) == build_payloads(self._args())
+
+    def test_batch_mode_wraps_items(self):
+        args = self._args(endpoint="batch", batch_size=4)
+        body = json.loads(build_payloads(args)[0])
+        assert len(body["items"]) == 4
+        assert body["algorithm"] == "rmts"
+
+
+@pytest.mark.perf_smoke
+class TestServingSmoke:
+    def test_spawned_server_zero_5xx_and_cache_hits(self, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        args = build_parser().parse_args([
+            "--spawn", "--port", "0",
+            "--requests", "40", "--concurrency", "4",
+            "--distinct", "5", "--n", "8",
+            "--json", str(out),
+        ])
+        report = run_loadgen(args)
+        client = report["client"]
+        assert all(int(k) < 500 for k in client["status_counts"])
+        assert client["status_counts"].get("200", 0) == 40
+        # 40 requests over 5 distinct sets -> the cache must be hot
+        assert client["cache_hit_responses"] >= 30
+        assert report["server_metrics"]["cache"]["hits"] >= 30
+        # SIGTERM drain exits cleanly
+        assert report["server_exit_code"] == 0
+        # report artifact written and loadable
+        saved = json.loads(out.read_text())
+        assert saved["kind"] == "service_loadgen"

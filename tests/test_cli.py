@@ -111,3 +111,58 @@ class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["bounds", "/nonexistent.json"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestMalformedTaskFiles:
+    """Malformed task JSON exits 2 with a one-line structured message —
+    the same validation path the admission service uses (PR-2)."""
+
+    @pytest.mark.parametrize("rows", [
+        [[-1, 4]],                        # negative cost
+        [[0, 4]],                         # zero cost
+        [[5, 4]],                         # cost > period
+        [[1, "many"]],                    # non-numeric period
+        [{"cost": {}, "period": 4}],      # non-numeric cost (TypeError bait)
+        [{"period": 4}],                  # missing cost
+        [[1, 2, 3]],                      # wrong arity
+        [],                               # empty list
+        {"cost": 1, "period": 4},         # not a list
+    ])
+    def test_exit_2_one_line_message(self, tmp_path, capsys, rows):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(rows))
+        assert main(["partition", str(path), "-m", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1          # exactly one line
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_invalid_json_text(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["partition", str(path), "-m", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid JSON" in err and err.count("\n") == 1
+
+    def test_message_names_offending_field(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([[1, 4], [-2, 8]]))
+        assert main(["bounds", str(path)]) == 2
+        assert "[1].cost" in capsys.readouterr().err
+
+    def test_multiple_errors_summarized(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([[-1, 4], [9, 4], [1, "x"]]))
+        assert main(["partition", str(path), "-m", "2"]) == 2
+        assert "more error" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_registered_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.queue_limit == 64
+        assert args.analysis_timeout == pytest.approx(5.0)
+        assert args.cache_size == 1024
