@@ -1,0 +1,122 @@
+"""Opt-in runtime sanitizer — the dynamic complement of ``repro.lint``.
+
+When enabled (``REPRO_DEBUG_INVARIANTS=1`` in the environment, or
+``repro.perf.config.use_debug_invariants(True)`` in code), subsystem
+boundaries assert the analytical invariants the paper's proofs rely on:
+
+* **per-task utilization** — every task in a :class:`~repro.core.task.TaskSet`
+  satisfies ``0 < U_i <= 1`` (within the shared EPS tolerance);
+* **RTA monotonicity** — on one processor, least fixed-point response
+  times are non-decreasing in priority order: the request-bound function
+  of a lower-priority subtask dominates that of any higher-priority one
+  pointwise, so its least fixed point cannot be smaller;
+* **partition well-formedness** — every *successful*
+  :class:`~repro.core.partition.PartitionResult` passes its own
+  ``validate()`` (coverage, split-chain structure, capacity, RTA).
+
+The checks are deliberately duck-typed and import nothing heavy so they
+can be called from ``core`` without creating import cycles.  Violations
+raise :class:`InvariantViolation`, a subclass of ``AssertionError`` —
+it must never be swallowed by ``except (OSError, ValueError, ...)``
+error paths.
+
+Overhead when disabled is one module-global boolean read per boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence
+
+from repro._util.floats import EPS
+
+__all__ = [
+    "InvariantViolation",
+    "invariants_enabled",
+    "check_taskset",
+    "check_response_monotonicity",
+    "check_partition",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A debug-mode runtime invariant does not hold."""
+
+
+def invariants_enabled() -> bool:
+    """Whether the sanitizer is active (env var or perf.config toggle)."""
+    from repro.perf import config
+
+    return config.debug_invariants
+
+
+def check_taskset(tasks: Iterable[Any]) -> None:
+    """Assert ``0 < U_i <= 1`` (within EPS) for every task."""
+    for task in tasks:
+        util = task.cost / task.period
+        if not 0.0 < util <= 1.0 + EPS:
+            raise InvariantViolation(
+                f"task {getattr(task, 'tid', '?')} has utilization "
+                f"{util!r} outside (0, 1]"
+            )
+
+
+def check_response_monotonicity(
+    responses: Sequence[float],
+    deadlines: Optional[Sequence[float]] = None,
+) -> None:
+    """Assert response times are non-decreasing in priority order.
+
+    ``NaN`` slots (subtasks whose RTA exceeded the deadline bound) are
+    skipped: dominance of the request-bound functions orders the least
+    fixed points of every *converged* pair even across a failed slot.
+    When *deadlines* is given, each converged response must also meet
+    its (synthetic) deadline within EPS.
+    """
+    last = 0.0
+    last_index = None
+    for i, r in enumerate(responses):
+        value = float(r)
+        if math.isnan(value):
+            continue
+        if value < last - EPS:
+            raise InvariantViolation(
+                f"response time decreased along the priority order: "
+                f"R[{i}]={value!r} < R[{last_index}]={last!r}"
+            )
+        if deadlines is not None and value > float(deadlines[i]) * (1.0 + 1e-12) + EPS:
+            raise InvariantViolation(
+                f"stored response time R[{i}]={value!r} exceeds its "
+                f"synthetic deadline {float(deadlines[i])!r}"
+            )
+        last = value
+        last_index = i
+
+
+def check_partition(result: Any) -> None:
+    """Assert a successful partition is structurally well-formed.
+
+    Delegates to ``PartitionResult.validate(structural_only=True)`` —
+    coverage of every task, contiguous split chains, no duplicate pieces,
+    distinct hosts per chain — and raises on the first batch of errors.
+    Failed partitions are exempt (they legitimately leave tasks
+    unassigned); so are the paper-algorithm-specific rules (Lemma-2 body
+    placement, Eq.-1 deadlines, exact RTA/DBF): simulation fixtures build
+    complete-but-overloaded partitions on purpose, and ablation variants
+    deliberately break the paper's assignment order.
+    """
+    if not getattr(result, "success", False):
+        return
+    if getattr(result, "info", {}).get("synthetic"):
+        # Pseudo-partitions wrapping raw subtask lists for the simulation
+        # engine (e.g. sim.uniproc.simulate_subtasks) opt out: they do not
+        # claim the paper's split-chain structure.
+        return
+    errors = result.validate(structural_only=True)
+    if errors:
+        summary = "; ".join(errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise InvariantViolation(
+            f"partition by {result.algorithm!r} failed validation: "
+            f"{summary}{more}"
+        )

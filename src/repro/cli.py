@@ -19,6 +19,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro._util.floats import approx_le
 from repro.core.bounds import (
     ALL_BOUNDS,
     HarmonicChainBound,
@@ -85,7 +86,9 @@ def cmd_bounds(args) -> int:
     if args.processors:
         u_norm = ts.normalized_utilization(args.processors)
         lam = min(best_bound_value(ts), 2 * ll_bound(n) / (1 + ll_bound(n)))
-        verdict = "GUARANTEED schedulable" if u_norm <= lam else "not covered"
+        verdict = (
+            "GUARANTEED schedulable" if approx_le(u_norm, lam) else "not covered"
+        )
         print(f"on M={args.processors}: U_M={u_norm:.4f} vs bound "
               f"{lam:.4f} -> {verdict} by the RM-TS bound")
     return 0
@@ -215,6 +218,12 @@ def cmd_serve(args) -> int:
     return run(config)
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_generate(args) -> int:
     if args.preset:
         ts = build_workload(
@@ -335,6 +344,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help=argparse.SUPPRESS)  # fault injection for tests
     p_serve.set_defaults(func=cmd_serve)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the domain static analyzer (see docs/static_analysis.md)",
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to repro.lint (paths, --select/--ignore, --format, "
+        "--list-rules, --bench-json)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     p_gen = sub.add_parser("generate", help="generate a random task set")
     p_gen.add_argument("--n", type=int, default=12)
     p_gen.add_argument("--u-norm", type=float, default=0.7)
@@ -360,6 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # argparse.REMAINDER does not capture a *leading* option token
+        # ("repro lint --list-rules"), so forward everything verbatim.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -203,5 +203,5 @@ def partition_edf(
         processors=procs,
         success=not unassigned,
         unassigned_tids=sorted(unassigned),
-        info={"heuristic": heuristic.value, "scheduler": "EDF"},
+        info={"heuristic": heuristic.value, "scheduler": "edf"},
     )

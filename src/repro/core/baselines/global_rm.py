@@ -23,6 +23,7 @@ from repro._util.floats import EPS
 from repro.core.task import Task, TaskSet
 
 __all__ = [
+    "rm_us_threshold",
     "rm_us_priority_order",
     "rm_us_utilization_bound",
     "rm_us_schedulable",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -51,6 +51,7 @@ __all__ = [
     "SpecializationBound",
     "harmonize_periods",
     "best_bound_value",
+    "theoretical_limits",
     "ALL_BOUNDS",
 ]
 
@@ -142,7 +143,7 @@ def harmonic_chains(
                 graph.add_edge(("L", a), ("R", b))
     matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=left)
     # Follow successor links to reconstruct the chains.
-    succ = {}
+    succ: Dict[int, int] = {}
     for node, mate in matching.items():
         if node[0] == "L":
             succ[node[1]] = mate[1]
@@ -366,7 +367,10 @@ ALL_BOUNDS: List[ParametricUtilizationBound] = [
 ]
 
 
-def best_bound_value(taskset: TaskSet, bounds: Iterable[ParametricUtilizationBound] = None) -> float:
+def best_bound_value(
+    taskset: TaskSet,
+    bounds: Optional[Iterable[ParametricUtilizationBound]] = None,
+) -> float:
     """The largest applicable D-PUB value for *taskset*.
 
     Any maximum of valid utilization bounds is itself a valid bound, so a
@@ -379,7 +383,7 @@ def best_bound_value(taskset: TaskSet, bounds: Iterable[ParametricUtilizationBou
     return max(b.value(taskset) for b in menu)
 
 
-def theoretical_limits() -> dict:
+def theoretical_limits() -> Dict[str, float]:
     """Asymptotic constants quoted in the paper's introduction/footnote 1.
 
     Returns a dict with ``ll`` (= ln 2 ~ 69.3 %), ``light_threshold``

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._util.floats import EPS, is_close
+from repro._util.invariants import check_partition
 from repro.core.rta import RTAContext, is_schedulable, response_times
 from repro.core.task import SplitTaskView, Subtask, SubtaskKind, Task, TaskSet
 from repro.perf import config as perf_config
@@ -302,6 +303,12 @@ class PartitionResult:
     #: free-form metadata recorded by the algorithm (e.g. pre-assign info).
     info: Dict[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Debug-mode sanitizer (REPRO_DEBUG_INVARIANTS=1): every successful
+        # partition must pass its own structural validation at birth.
+        if perf_config.debug_invariants:
+            check_partition(self)
+
     # -- basic queries -------------------------------------------------------
 
     @property
@@ -336,8 +343,11 @@ class PartitionResult:
     @property
     def scheduler(self) -> str:
         """Per-processor dispatching rule: ``"fixed"`` (RMS, the paper's
-        algorithms) or ``"edf"`` (the EDF-WS baseline)."""
-        return str(self.info.get("scheduler", "fixed"))
+        algorithms) or ``"edf"`` (the EDF-WS baseline).  Normalized to
+        lower case — the debug sanitizer caught a partition builder
+        labelling itself ``"EDF"`` and silently falling into every
+        fixed-priority code path."""
+        return str(self.info.get("scheduler", "fixed")).lower()
 
     def _edf_split_consistent(self, view: "SplitTaskView") -> bool:
         """EDF window-split consistency: contiguous indices, costs sum to
@@ -356,8 +366,17 @@ class PartitionResult:
             return False
         return sum(p.deadline for p in pieces) <= view.task.period + EPS
 
-    def validate(self) -> List[str]:
+    def validate(self, structural_only: bool = False) -> List[str]:
         """Re-check every structural invariant; return a list of violations.
+
+        ``structural_only=True`` limits the check to *universal*
+        semi-partitioned structure — coverage, contiguous split chains,
+        no duplicate pieces, distinct hosts per chain — skipping the
+        rules that only the paper's own algorithms guarantee: Lemma-2
+        body placement, Eq.-1 deadlines and per-processor RTA/DBF.
+        (Simulation fixtures build complete-but-overloaded partitions to
+        observe misses, and ablation variants deliberately break the
+        paper's assignment order; both are still structurally sound.)
 
         An empty list means the partition is well-formed.  For the paper's
         fixed-priority partitions:
@@ -401,7 +420,7 @@ class PartitionResult:
                     f"processor {proc.index}: multiple pieces of tasks {dupes}"
                 )
 
-            if not edf:
+            if not edf and not structural_only:
                 bodies = proc.body_subtasks()
                 if len(bodies) > 1:
                     errors.append(
@@ -421,7 +440,7 @@ class PartitionResult:
                             f"{body.label()} is not highest-priority"
                         )
 
-            if self.success:
+            if self.success and not structural_only:
                 if edf:
                     from repro.core.baselines.edf import edf_schedulable
 
@@ -437,12 +456,16 @@ class PartitionResult:
             if len(set(procs)) != len(procs):
                 errors.append(f"task {tid}: revisits a processor when split")
 
-        if self.success and not edf:
+        if self.success and not edf and not structural_only:
+            # Eq. 1 deadline assignment is analytical, not structural: it
+            # re-derives body response times on the host processors.
             errors.extend(self._check_eq1_deadlines(views))
 
         return errors
 
-    def _check_eq1_deadlines(self, views) -> List[str]:
+    def _check_eq1_deadlines(
+        self, views: Dict[int, "SplitTaskView"]
+    ) -> List[str]:
         """Exact Eq. 1 check: every split piece's synthetic deadline must
         equal ``T - sum of preceding body response times``, with each body
         response computed against its host processor's actual contents.

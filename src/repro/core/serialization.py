@@ -67,7 +67,7 @@ def partition_to_dict(partition: PartitionResult) -> Dict:
     }
 
 
-def _jsonable(obj):
+def _jsonable(obj: object) -> object:
     """Best-effort conversion of info payloads to JSON-safe values."""
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._util.floats import EPS, is_close, is_integer_multiple
+from repro._util.invariants import check_taskset, invariants_enabled
 from repro._util.validation import check_positive, check_nonnegative
 
 
@@ -193,6 +194,8 @@ class TaskSet:
             Task(cost=t.cost, period=t.period, tid=i, name=t.name or f"tau{i}")
             for i, (_, t) in enumerate(ordered)
         )
+        if invariants_enabled():
+            check_taskset(self._tasks)
 
     # -- sequence protocol -------------------------------------------------
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util.floats import approx_le
 from repro.analysis.acceptance import acceptance_sweep
 from repro.analysis.algorithms import (
     rmts_light_test,
@@ -77,7 +78,7 @@ def run_e3(
         report.checks[f"spa2_perfect_below_LL_M{m}"] = all(
             ratio >= 1.0
             for u, ratio in zip(sweep.u_grid, sweep.curves["SPA2"])
-            if u <= ll_bound(n)
+            if approx_le(u, ll_bound(n))
         )
         gap = sweep.area("RM-TS") - sweep.area("SPA2")
         report.observations.append(

@@ -22,7 +22,7 @@ from repro.core.task import Subtask
 from repro.experiments.base import ExperimentReport, register
 from repro.taskgen.generators import TaskSetGenerator
 
-__all__ = ["run_e5"]
+__all__ = ["run_e5", "rmts_light_breakdown_test"]
 
 
 def _uniproc_rta_test(taskset, processors):

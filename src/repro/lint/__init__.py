@@ -1,0 +1,38 @@
+"""Domain-aware static analysis for the repro codebase.
+
+``repro.lint`` is a small AST-based analyzer with scheduling-specific
+rules: boundary float comparisons that bypass the shared tolerance
+policy, unseeded randomness that would break bit-identical experiment
+curves, blocking calls inside the asyncio admission service, telemetry
+counter drift, and a few general hygiene rules (swallowed exceptions,
+``__all__`` drift, stray prints).
+
+Run it as ``python -m repro lint`` (or ``python -m repro.lint``).
+Diagnostics can be suppressed per line with ``# repro-lint: disable=R1``
+or per file with ``# repro-lint: disable-file=R8`` — always pair a
+suppression with a short justification comment.
+
+The dynamic complement is the opt-in runtime sanitizer in
+:mod:`repro._util.invariants` (``REPRO_DEBUG_INVARIANTS=1``).
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import (
+    LintedFile,
+    Rule,
+    all_rules,
+    collect_files,
+    lint_paths,
+    rule,
+)
+from repro.lint import rules as _rules  # noqa: F401  (registers R1..R8)
+
+__all__ = [
+    "Diagnostic",
+    "LintedFile",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "rule",
+]

@@ -1,0 +1,106 @@
+"""Command-line front end for ``repro.lint``.
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.lint.framework import all_rules, lint_paths
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_PATHS = ["src/repro"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run these rule codes (repeatable, e.g. --select R1)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="skip these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        default=None,
+        help="write a timing artifact (files, diagnostics, wall seconds)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_obj in all_rules():
+            print(f"{rule_obj.code}[{rule_obj.name}] ({rule_obj.scope}) "
+                  f"{rule_obj.doc}")
+        return 0
+    paths: List[str] = list(args.paths) if args.paths else _DEFAULT_PATHS
+    start = time.perf_counter()
+    try:
+        diagnostics = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    if args.format == "json":
+        print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+        if diagnostics:
+            print(f"{len(diagnostics)} diagnostic(s) found")
+    if args.bench_json:
+        from repro.lint.framework import collect_files
+
+        artifact = {
+            "tool": "repro.lint",
+            "paths": paths,
+            "files": len(collect_files(paths)),
+            "rules": len(all_rules()),
+            "diagnostics": len(diagnostics),
+            "wall_seconds": round(elapsed, 4),
+            "budget_seconds": 2.0,
+            "within_budget": elapsed < 2.0,
+        }
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Diagnostic records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE[name] message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    name: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code}[{self.name}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "name": self.name,
+            "message": self.message,
+        }

@@ -31,6 +31,9 @@ Interpretation caveats (also recorded inside the artifact):
   when ``os.cpu_count() >= jobs``.
 """
 
+# repro-lint: disable-file=R8 -- this module IS a CLI entry point
+# (python -m repro.perf.bench_sweep); its prints are the report.
+
 from __future__ import annotations
 
 import argparse

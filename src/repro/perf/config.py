@@ -14,14 +14,26 @@
 The switch is a module global read once per admission call; flip it with
 :func:`use_incremental_rta` (a context manager) rather than assigning the
 attribute directly, so nesting restores the previous value.
+
+``debug_invariants`` arms the runtime sanitizer
+(:mod:`repro._util.invariants`): subsystem boundaries then assert RTA
+response-time monotonicity, per-task ``0 < U <= 1`` and partition
+well-formedness.  It starts from the ``REPRO_DEBUG_INVARIANTS``
+environment variable and is toggled with :func:`use_debug_invariants`.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 #: Whether cached/incremental RTA admission is active (see module docstring).
 incremental_rta: bool = True
+
+#: Whether the runtime invariant sanitizer is armed (see module docstring).
+debug_invariants: bool = os.environ.get(
+    "REPRO_DEBUG_INVARIANTS", ""
+).strip().lower() not in ("", "0", "false", "no")
 
 
 def incremental_rta_enabled() -> bool:
@@ -39,3 +51,20 @@ def use_incremental_rta(enabled: bool):
         yield
     finally:
         incremental_rta = previous
+
+
+def debug_invariants_enabled() -> bool:
+    """Current state of the runtime-sanitizer switch."""
+    return debug_invariants
+
+
+@contextmanager
+def use_debug_invariants(enabled: bool):
+    """Temporarily arm or disarm the runtime invariant sanitizer."""
+    global debug_invariants
+    previous = debug_invariants
+    debug_invariants = bool(enabled)
+    try:
+        yield
+    finally:
+        debug_invariants = previous

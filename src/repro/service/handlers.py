@@ -50,7 +50,13 @@ from repro.service.validation import (
     parse_taskset_payload,
 )
 
-__all__ = ["ServiceConfig", "AdmissionService", "compute_admit_body", "degraded_admit_body"]
+__all__ = [
+    "ServiceConfig",
+    "AdmissionService",
+    "compute_admit_body",
+    "compute_bounds_body",
+    "degraded_admit_body",
+]
 
 
 @dataclass(frozen=True)

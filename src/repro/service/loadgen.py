@@ -32,7 +32,7 @@ from repro.perf.telemetry import write_bench_json
 from repro.runner import cell_rng
 from repro.taskgen.generators import TaskSetGenerator
 
-__all__ = ["main", "run_loadgen"]
+__all__ = ["main", "run_loadgen", "build_payloads", "build_parser"]
 
 
 # ---------------------------------------------------------------------------

@@ -179,7 +179,7 @@ class AdmissionServer:
                 installed.append(sig)
             except (NotImplementedError, RuntimeError):  # non-Unix loops
                 pass
-        print(
+        print(  # repro-lint: disable=R8 (operator-facing startup banner)
             f"admission service listening on "
             f"http://{self.config.host}:{self.port} "
             f"(queue_limit={self.config.queue_limit}, "
@@ -193,7 +193,7 @@ class AdmissionServer:
             for sig in installed:
                 loop.remove_signal_handler(sig)
             await self.stop()
-            print("admission service drained, bye", flush=True)
+            print("admission service drained, bye", flush=True)  # repro-lint: disable=R8 (operator-facing shutdown notice)
 
     # -- connection / protocol plumbing ------------------------------------
 

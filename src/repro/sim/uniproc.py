@@ -63,6 +63,9 @@ def simulate_subtasks(
         taskset=taskset,
         processors=[proc],
         success=True,
+        # An arbitrary subtask list is not a paper-structured partition;
+        # exempt it from the debug sanitizer's well-formedness check.
+        info={"synthetic": True},
     )
     return simulate_partition(
         partition, horizon=horizon, record_trace=record_trace

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._util.floats import approx_ge
 from repro._util.validation import check_positive
 from repro.core.task import Task, TaskSet
 from repro.taskgen.generators import make_rng
@@ -57,7 +58,7 @@ def _scale_to_utilization(
     tasks: List[Task] = []
     for name, weight, period in entries:
         util = weight / total_weight * target
-        if util >= 1.0:
+        if approx_ge(util, 1.0):
             raise ValueError(
                 f"preset task {name!r} would need utilization {util:.2f} "
                 f">= 1; raise the processor count or lower u_norm"

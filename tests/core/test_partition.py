@@ -111,19 +111,26 @@ class TestPendingPiece:
 
 
 def _partition_of(taskset, assignments):
-    """Helper: build a PartitionResult from {proc: [subtask...]}."""
+    """Helper: build a PartitionResult from {proc: [subtask...]}.
+
+    Built with the debug sanitizer disarmed: these tests construct
+    deliberately malformed partitions to exercise ``validate()`` itself.
+    """
+    from repro.perf.config import use_debug_invariants
+
     procs = []
     for q, subs in assignments.items():
         proc = ProcessorState(index=q)
         for s in subs:
             proc.add(s)
         procs.append(proc)
-    return PartitionResult(
-        algorithm="manual",
-        taskset=taskset,
-        processors=procs,
-        success=True,
-    )
+    with use_debug_invariants(False):
+        return PartitionResult(
+            algorithm="manual",
+            taskset=taskset,
+            processors=procs,
+            success=True,
+        )
 
 
 class TestPartitionValidation:

@@ -1,0 +1,15 @@
+"""R1 fixture: raw float comparisons on schedulability quantities.
+
+Tagged lines must be reported; the suppressed and tolerance-aware lines
+must not.
+"""
+
+
+def decide(util, bound, model):
+    flagged_le = util <= bound  # expect: R1
+    flagged_eq = util == bound  # expect: R1
+    suppressed = util >= bound  # repro-lint: disable=R1 -- fixture
+    tolerant = util <= bound + 1e-9
+    string_cmp = model == "uunifast"
+    strict_lt = util < bound
+    return flagged_le, flagged_eq, suppressed, tolerant, string_cmp, strict_lt

@@ -1,0 +1,24 @@
+"""R2 fixture: unseeded, hidden-constant and ad-hoc-arithmetic randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed, i):
+    bad_global = np.random.uniform(0.0, 1.0)  # expect: R2
+    bad_unseeded = np.random.default_rng()  # expect: R2
+    bad_constant = np.random.default_rng(1234)  # expect: R2
+    bad_arith = np.random.default_rng(seed + 7 * i)  # expect: R2
+    bad_stdlib = random.choice([1, 2, 3])  # expect: R2
+    ok_param = np.random.default_rng(seed)
+    ok_suppressed = np.random.default_rng()  # repro-lint: disable=R2
+    return (
+        bad_global,
+        bad_unseeded,
+        bad_constant,
+        bad_arith,
+        bad_stdlib,
+        ok_param,
+        ok_suppressed,
+    )

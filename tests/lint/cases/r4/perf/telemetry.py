@@ -1,0 +1,7 @@
+"""R4 fixture: counter declarations with one dead entry."""
+
+_FIELDS = ("requests_total", "dead_counter")  # expect: R4
+
+
+class PerfCounters:
+    pass

@@ -1,0 +1,6 @@
+"""R4 fixture: one declared counter touched, one undeclared counter bumped."""
+
+
+def tick(COUNTERS):
+    COUNTERS.requests_total += 1
+    COUNTERS.bogus += 1  # expect: R4

@@ -1,0 +1,11 @@
+"""R5 fixture: in-place mutation of frozen dataclasses."""
+
+
+class Thing:
+    def __post_init__(self):
+        # Allowed scope: frozen dataclasses initialise themselves this way.
+        object.__setattr__(self, "cost", 1.0)
+
+    def clamp(self):
+        object.__setattr__(self, "cost", 0.0)  # expect: R5
+        object.__setattr__(self, "cost", 0.0)  # repro-lint: disable=R5

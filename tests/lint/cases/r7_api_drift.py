@@ -1,0 +1,15 @@
+"""R7 fixture: ``__all__`` drift in both directions."""
+
+__all__ = ["exported", "ghost"]  # expect: R7
+
+
+def exported():
+    return 1
+
+
+def orphan():  # expect: R7
+    return 2
+
+
+def _private_is_fine():
+    return 3

@@ -1,0 +1,8 @@
+"""R7 fixture: the same drift, silenced file-wide."""
+# repro-lint: disable-file=R7
+
+__all__ = ["ghost"]
+
+
+def orphan():
+    return 0

@@ -1,0 +1,7 @@
+"""R8 fixture: ``print()`` in library code."""
+
+
+def report(value):
+    print(value)  # expect: R8
+    print(value)  # repro-lint: disable=R8 -- fixture
+    return value

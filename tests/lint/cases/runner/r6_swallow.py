@@ -1,0 +1,25 @@
+"""R6 fixture: swallowed exceptions (runner-scoped rule)."""
+
+
+def risky(work, log):
+    try:
+        work()
+    except Exception:  # expect: R6
+        pass
+    try:
+        work()
+    except:  # expect: R6  # noqa: E722
+        pass
+    try:
+        work()
+    except Exception:  # repro-lint: disable=R6 -- fixture
+        pass
+    try:
+        work()
+    except Exception as exc:
+        log.warning("failed: %s", exc)
+    try:
+        work()
+    except ValueError:
+        # Narrow handlers are fine even when silent.
+        pass

@@ -1,0 +1,22 @@
+"""R3 fixture: blocking calls inside ``async def`` (service-scoped rule)."""
+
+import time
+
+
+async def handler(path):
+    time.sleep(0.1)  # expect: R3
+    data = open(path).read()  # expect: R3
+    time.sleep(0.1)  # repro-lint: disable=R3 -- fixture
+
+    def sync_helper():
+        # Nested sync defs are shipped to an executor: not flagged.
+        time.sleep(1.0)
+        return open(path)
+
+    return data, sync_helper
+
+
+def plain_function(path):
+    # Blocking is fine outside async defs.
+    time.sleep(0.1)
+    return open(path)

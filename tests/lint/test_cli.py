@@ -1,0 +1,124 @@
+"""CLI front-end tests: exit codes, formats, catalog, bench artifact."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text('"""Nothing to report."""\n\nX = 1\n', encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(
+        '"""One R8 violation."""\n\n\ndef report(x):\n    print(x)\n',
+        encoding="utf-8",
+    )
+    return path
+
+
+def test_exit_zero_and_silent_on_clean_file(clean_file, capsys):
+    assert lint_main([str(clean_file)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_with_file_line_diagnostics(dirty_file, capsys):
+    assert lint_main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "R8[print-in-library]" in out
+    assert ":5:" in out  # the print() line
+    assert "1 diagnostic(s) found" in out
+
+
+def test_json_format_is_parseable(dirty_file, capsys):
+    assert lint_main([str(dirty_file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    record = payload[0]
+    assert record["code"] == "R8"
+    assert record["line"] == 5
+    assert record["path"].endswith("dirty.py")
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope.txt")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert lint_main([str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_select_and_ignore_scope_the_run(dirty_file):
+    assert lint_main([str(dirty_file), "--select", "R1"]) == 0
+    assert lint_main([str(dirty_file), "--ignore", "R8"]) == 0
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 8
+    assert lines[0].startswith("R1[float-compare]")
+    assert any("(project)" in line for line in lines)
+
+
+def test_bench_json_artifact(dirty_file, tmp_path, capsys):
+    artifact = tmp_path / "bench.json"
+    assert lint_main([str(dirty_file), "--bench-json", str(artifact)]) == 1
+    capsys.readouterr()
+    data = json.loads(artifact.read_text(encoding="utf-8"))
+    assert data["tool"] == "repro.lint"
+    assert data["files"] == 1
+    assert data["diagnostics"] == 1
+    assert data["rules"] == 8
+    assert data["wall_seconds"] >= 0.0
+    assert data["within_budget"] is True
+
+
+def test_repro_cli_forwards_lint_args(dirty_file, capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", str(dirty_file), "--select", "R8"]) == 1
+    assert "R8[print-in-library]" in capsys.readouterr().out
+
+
+def test_repro_cli_forwards_leading_option(capsys):
+    # argparse.REMAINDER chokes on a leading option; main() must forward
+    # "repro lint --list-rules" verbatim.
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 8
+
+
+def test_python_dash_m_entry_point(dirty_file):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(dirty_file), "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 1, proc.stderr
+    assert json.loads(proc.stdout)[0]["code"] == "R8"

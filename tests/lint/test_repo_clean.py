@@ -1,0 +1,28 @@
+"""Tier-1 self-enforcement: the shipped source tree must lint clean.
+
+This is the test that makes ``repro.lint`` load-bearing — any new
+violation in ``src/repro`` fails the default test run, not just an
+optional CI step.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_paths
+
+pytestmark = pytest.mark.lint
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    diagnostics = lint_paths([str(SRC)])
+    assert diagnostics == [], "lint violations in src/repro:\n" + "\n".join(
+        d.format() for d in diagnostics
+    )
+
+
+def test_full_rule_catalog_is_registered():
+    codes = [r.code for r in all_rules()]
+    assert codes == [f"R{i}" for i in range(1, 9)]

@@ -1,0 +1,28 @@
+"""Strict typing gate for the analysis kernel.
+
+Skips when mypy is not installed (the offline test container does not
+ship it); on developer machines with mypy this enforces the
+``[tool.mypy]`` strict profile over ``repro.core`` and ``repro._util``.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_core_and_util_are_strictly_typed():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

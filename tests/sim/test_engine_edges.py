@@ -66,7 +66,11 @@ class TestThreeWaySplitExecution:
         p2.add(Subtask(cost=7, period=12, deadline=10, parent=t_split,
                        index=3, kind=SubtaskKind.TAIL))
         return PartitionResult(
-            algorithm="t", taskset=ts, processors=[p0, p1, p2], success=True
+            algorithm="t", taskset=ts, processors=[p0, p1, p2], success=True,
+            # Deliberately non-Lemma-2 structure (bodies are not highest
+            # priority) to exercise engine generality; opt out of the
+            # debug sanitizer's well-formedness check.
+            info={"synthetic": True},
         )
 
     def test_chain_executes_in_order(self):
