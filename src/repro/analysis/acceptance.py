@@ -23,7 +23,13 @@ from repro.core.task import TaskSet
 from repro.runner import cell_rng, chunked_map
 from repro.taskgen.generators import TaskSetGenerator
 
-__all__ = ["AcceptanceTest", "acceptance_ratio", "acceptance_sweep", "SweepResult"]
+__all__ = [
+    "AcceptanceTest",
+    "acceptance_ratio",
+    "acceptance_sweep",
+    "evaluate_sweep_cell",
+    "SweepResult",
+]
 
 #: An acceptance test maps (taskset, processors) -> accepted?
 AcceptanceTest = Callable[[TaskSet, int], bool]
@@ -77,12 +83,15 @@ class SweepResult:
         return float(np.trapezoid(self.curves[name], self.u_grid))
 
 
-def _sweep_cell(payload, cell: Tuple[int, float, int]) -> Tuple[bool, ...]:
+def evaluate_sweep_cell(payload, cell: Tuple[int, float, int]) -> Tuple[bool, ...]:
     """Worker for one (level, sample) cell: every algorithm, one task set.
 
     Module-level so the parallel runner can dispatch it by name; the task
     set is built *inside* the worker from the cell's own seed, so nothing
-    heavier than three numbers crosses a process boundary.
+    heavier than three numbers crosses a process boundary.  Also the unit
+    of work the checkpointed :func:`repro.store.checkpoint.run_sweep`
+    journals — a cell's result is a pure function of ``(payload, cell)``,
+    which is what makes resumed sweeps bit-identical.
     """
     generator, tests, processors, seed = payload
     level_idx, u_norm, sample_idx = cell
@@ -124,7 +133,7 @@ def acceptance_sweep(
         for level_idx, u_norm in enumerate(u_grid)
         for sample_idx in range(samples)
     ]
-    rows = chunked_map(_sweep_cell, cells, payload=payload, jobs=jobs)
+    rows = chunked_map(evaluate_sweep_cell, cells, payload=payload, jobs=jobs)
     curves: Dict[str, List[float]] = {name: [] for name in names}
     for level_idx in range(len(u_grid)):
         block = rows[level_idx * samples : (level_idx + 1) * samples]

@@ -6,7 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro bounds tasks.json
     python -m repro simulate tasks.json --processors 4 --overhead 0.01
     python -m repro generate --n 12 --u-norm 0.8 --processors 4 -o tasks.json
-    python -m repro serve --port 8787 --queue-limit 64
+    python -m repro serve --port 8787 --queue-limit 64 --store results.db
+    python -m repro store stats results.db
 
 Task files are JSON: either a list of ``{"cost": C, "period": T}`` objects
 or a list of ``[C, T]`` pairs.
@@ -151,6 +152,8 @@ def cmd_sweep(args) -> int:
 
     if args.u_max < args.u_min:
         raise ValueError("--u-max must be >= --u-min")
+    if args.resume and not args.store:
+        raise ValueError("--resume needs --store PATH")
     u_grid = []
     u = args.u_min
     while u <= args.u_max + 1e-9:
@@ -162,21 +165,42 @@ def cmd_sweep(args) -> int:
     algorithms = standard_algorithms(include_light=args.light)
     stages = StageTimes()
     before = COUNTERS.snapshot()
+    progress: dict = {}
     with stages.stage("sweep"):
-        sweep = acceptance_sweep(
-            algorithms,
-            gen,
-            processors=args.processors,
-            u_grid=u_grid,
-            samples=args.samples,
-            seed=args.seed,
-            jobs=args.jobs,
-        )
+        if args.store:
+            from repro.store.checkpoint import run_sweep
+
+            sweep = run_sweep(
+                algorithms,
+                gen,
+                processors=args.processors,
+                u_grid=u_grid,
+                samples=args.samples,
+                seed=args.seed,
+                jobs=args.jobs,
+                store=args.store,
+                resume=args.resume,
+                progress=progress,
+            )
+        else:
+            sweep = acceptance_sweep(
+                algorithms,
+                gen,
+                processors=args.processors,
+                u_grid=u_grid,
+                samples=args.samples,
+                seed=args.seed,
+                jobs=args.jobs,
+            )
     title = (
         f"acceptance sweep: M={args.processors}, N={args.n}, "
         f"{args.periods} periods, samples={args.samples}, jobs={args.jobs}"
     )
     print(sweep.table(title=title).to_text())
+    if progress:
+        print(f"checkpoint: {progress['cells_resumed']} cells resumed, "
+              f"{progress['cells_computed']} computed "
+              f"(store: {args.store})")
     if args.bench_json:
         write_bench_json(
             args.bench_json,
@@ -214,6 +238,7 @@ def cmd_serve(args) -> int:
         jobs=args.jobs,
         max_batch=args.max_batch,
         inject_delay=args.inject_delay,
+        store_path=args.store,
     )
     return run(config)
 
@@ -222,6 +247,12 @@ def cmd_lint(args) -> int:
     from repro.lint.cli import main as lint_main
 
     return lint_main(args.lint_args)
+
+
+def cmd_store(args) -> int:
+    from repro.store.cli import main as store_main
+
+    return store_main(args.store_args)
 
 
 def cmd_generate(args) -> int:
@@ -317,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json", default=None,
         help="write wall-time + RTA-counter telemetry to this JSON file",
     )
+    p_sweep.add_argument(
+        "--store", default=None,
+        help="journal per-cell results into this persistent store "
+        "(see docs/storage.md)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already journaled in --store; curves are "
+        "bit-identical to an uninterrupted run",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -342,7 +383,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max items accepted per /v1/batch request")
     p_serve.add_argument("--inject-delay", type=float, default=0.0,
                          help=argparse.SUPPRESS)  # fault injection for tests
+    p_serve.add_argument("--store", default=None,
+                         help="persist the result cache in this sqlite "
+                         "store so it survives restarts "
+                         "(see docs/storage.md)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect/maintain persistent result stores "
+        "(stats, gc, verify, export, import)",
+    )
+    p_store.add_argument(
+        "store_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to repro.store (see python -m repro store --help)",
+    )
+    p_store.set_defaults(func=cmd_store)
 
     p_lint = sub.add_parser(
         "lint",
@@ -389,6 +446,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "store":
+        # Same REMAINDER caveat for "repro store --help" style invocations.
+        from repro.store.cli import main as store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

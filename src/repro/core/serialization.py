@@ -32,13 +32,27 @@ from typing import Dict, List
 from repro.core.partition import PartitionResult, ProcessorRole, ProcessorState
 from repro.core.task import Subtask, SubtaskKind, TaskSet
 
-__all__ = ["partition_to_dict", "partition_from_dict", "save_partition", "load_partition"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition",
+    "load_partition",
+]
+
+#: Version of the serialized payload shape.  Bump on any change to the
+#: fields below (or to the response bodies built from them) that an older
+#: loader would misread; the result store stamps every row with this value
+#: and invalidates rows written under a different one, so durable caches
+#: survive code upgrades by recomputing instead of deserializing garbage.
+SCHEMA_VERSION = 1
 
 
 def partition_to_dict(partition: PartitionResult) -> Dict:
     """Serialize a partition to a JSON-compatible dict."""
     return {
         "format": "repro-partition-v1",
+        "schema_version": SCHEMA_VERSION,
         "algorithm": partition.algorithm,
         "success": partition.success,
         "scheduler": partition.scheduler,
@@ -92,6 +106,14 @@ def partition_from_dict(data: Dict) -> PartitionResult:
     """
     if data.get("format") != "repro-partition-v1":
         raise ValueError("not a repro partition file (missing format tag)")
+    # Payloads written before the schema_version field existed carry the
+    # v1 shape, so a missing field means version 1, not "unknown".
+    version = data.get("schema_version", 1)
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"partition payload schema version {version!r} does not match "
+            f"this code's version {SCHEMA_VERSION}; regenerate the payload"
+        )
     scheduler = data.get("scheduler", "fixed")
     if scheduler not in KNOWN_SCHEDULERS:
         raise ValueError(

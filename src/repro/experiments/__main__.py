@@ -19,13 +19,41 @@ from repro.experiments import all_experiments, get_experiment
 from repro.runner import jobs_arg
 
 
-def _write_report(directory: str, report) -> None:
-    """Persist a report as text plus one CSV per table."""
+def _write_report(directory: str, report, run_config=None) -> None:
+    """Persist a report as text plus one CSV per table, with provenance.
+
+    Next to the outputs goes a ``<id>_provenance.json`` sidecar recording
+    the run configuration and a checksum of every written file (inside
+    the stamped config block, so ``python -m repro store verify
+    --artifacts`` flags outputs edited after the run — the PR-3
+    stale-artifact failure mode).
+    """
+    from repro.perf.telemetry import write_bench_json
+    from repro.store.provenance import file_sha256
+
     out = Path(directory)
     out.mkdir(parents=True, exist_ok=True)
-    (out / f"{report.experiment_id}.txt").write_text(report.render() + "\n")
+    written = [f"{report.experiment_id}.txt"]
+    (out / written[0]).write_text(report.render() + "\n")
     for i, table in enumerate(report.tables):
-        table.write_csv(str(out / f"{report.experiment_id}_table{i}.csv"))
+        name = f"{report.experiment_id}_table{i}.csv"
+        table.write_csv(str(out / name))
+        written.append(name)
+    write_bench_json(
+        str(out / f"{report.experiment_id}_provenance.json"),
+        {
+            "kind": "experiment_report",
+            "experiment": report.experiment_id,
+            "config": {
+                "experiment": report.experiment_id,
+                **(run_config or {}),
+                "files": {
+                    name: file_sha256(str(out / name)) for name in written
+                },
+            },
+            "checks_pass": report.all_checks_pass,
+        },
+    )
 
 
 def main(argv=None) -> int:
@@ -80,7 +108,11 @@ def main(argv=None) -> int:
         print(report.render())
         print()
         if args.write_dir:
-            _write_report(args.write_dir, report)
+            _write_report(args.write_dir, report, run_config={
+                "seed": args.seed,
+                "quick": not args.full,
+                "jobs": kwargs.get("jobs", 1),
+            })
         if not report.all_checks_pass:
             failures += 1
     if failures:

@@ -670,6 +670,8 @@ _R8_EXEMPT_SUFFIXES = (
     "__main__.py",
     "service/loadgen.py",
     "lint/cli.py",
+    "store/cli.py",
+    "store/bench_store.py",
 )
 
 

@@ -35,10 +35,19 @@ _FIELDS = (
     "svc_requests",       # HTTP requests handled (all endpoints)
     "svc_cache_hits",     # analysis results served from the LRU cache
     "svc_cache_misses",   # analysis results that had to be computed
+    "svc_cache_evictions",  # LRU entries displaced at capacity
     "svc_degraded",       # responses downgraded to the bound-only verdict
     "svc_timeouts",       # analyses that hit the per-request deadline
     "svc_backpressure",   # requests shed with 429/503 (queue full / drain)
     "svc_validation_errors",  # requests rejected by structured validation
+    # -- persistent result store (repro.store) ------------------------------
+    "st_hits",            # store reads answered from a durable row
+    "st_misses",          # store reads with no (valid) row
+    "st_puts",            # insert-or-get writes (including losing races)
+    "st_corrupt_rows",    # rows dropped after a payload-checksum mismatch
+    "st_schema_evictions",  # rows invalidated by a schema-version change
+    "st_quarantines",     # whole files set aside and rebuilt from scratch
+    "st_gc_removed",      # rows removed by TTL / capacity compaction
 )
 
 
@@ -115,7 +124,16 @@ class StageTimes:
 
 
 def write_bench_json(path: str, payload: Dict[str, object]) -> None:
-    """Persist a ``BENCH_sweep.json``-style artifact (stable key order)."""
+    """Persist a ``BENCH_sweep.json``-style artifact (stable key order).
+
+    Every artifact is stamped with a provenance block (code version,
+    config hash, seed, counter snapshot — see
+    :mod:`repro.store.provenance`) so ``python -m repro store verify``
+    can detect stale or tampered artifacts later.  The import is lazy:
+    the store layer builds on the telemetry counters, not vice versa.
+    """
+    from repro.store.provenance import stamp_payload
+
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=False)
+        json.dump(stamp_payload(payload), fh, indent=2, sort_keys=False)
         fh.write("\n")

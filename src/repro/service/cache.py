@@ -62,10 +62,16 @@ class LRUCache:
     :data:`~repro.perf.telemetry.COUNTERS` for ``/metrics``.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, *,
+                 mirror_counters: bool = True) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        #: Whether hits/misses/evictions are mirrored into the global
+        #: COUNTERS.  The tiered cache front disables this and does its own
+        #: accounting — a front-tier eviction is not a cache eviction when
+        #: the entry still lives in the durable back tier.
+        self.mirror_counters = mirror_counters
         self._data: "OrderedDict[str, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -79,10 +85,12 @@ class LRUCache:
         if key in self._data:
             self._data.move_to_end(key)
             self.hits += 1
-            COUNTERS.svc_cache_hits += 1
+            if self.mirror_counters:
+                COUNTERS.svc_cache_hits += 1
             return True, self._data[key]
         self.misses += 1
-        COUNTERS.svc_cache_misses += 1
+        if self.mirror_counters:
+            COUNTERS.svc_cache_misses += 1
         return False, None
 
     def put(self, key: str, value: object) -> None:
@@ -94,6 +102,8 @@ class LRUCache:
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
             self.evictions += 1
+            if self.mirror_counters:
+                COUNTERS.svc_cache_evictions += 1
 
     def clear(self) -> None:
         self._data.clear()

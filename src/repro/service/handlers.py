@@ -78,6 +78,10 @@ class ServiceConfig:
     #: fault injection: sleep this long inside every analysis.  Used by the
     #: timeout/degradation tests and ``loadgen --inject-delay``.
     inject_delay: float = 0.0
+    #: path to a persistent :class:`repro.store.ResultStore`; when set the
+    #: result cache becomes a two-tier LRU+sqlite cache that survives
+    #: restarts (``--store`` on ``python -m repro serve``).
+    store_path: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -210,7 +214,24 @@ class AdmissionService:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
-        self.cache = LRUCache(self.config.cache_size)
+        if self.config.store_path:
+            # Local import: repro.store builds on the service's cache-key
+            # and LRU primitives, so the durable tier is pulled in only
+            # when configured.
+            from repro.store.backend import ResultStore
+            from repro.store.tiered import TieredCache
+
+            self.cache = TieredCache(
+                self.config.cache_size, ResultStore(self.config.store_path)
+            )
+        else:
+            self.cache = LRUCache(self.config.cache_size)
+
+    def close(self) -> None:
+        """Release the durable cache tier (no-op for the in-memory one)."""
+        closer = getattr(self.cache, "close", None)
+        if closer is not None:
+            closer()
 
     # -- admit -------------------------------------------------------------
 

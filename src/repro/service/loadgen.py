@@ -254,6 +254,8 @@ def _spawn_server(args: argparse.Namespace) -> subprocess.Popen:
     ]
     if args.inject_delay:
         cmd += ["--inject-delay", str(args.inject_delay)]
+    if args.store:
+        cmd += ["--store", args.store]
     proc = subprocess.Popen(cmd)
     deadline = time.time() + 15.0
     while time.time() < deadline:
@@ -330,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--inject-delay", type=float, default=0.0,
                         help="fault injection on the spawned server")
+    parser.add_argument("--store", default=None,
+                        help="persistent result store for the spawned "
+                        "server (cache survives restarts)")
     return parser
 
 

@@ -161,6 +161,7 @@ class AdmissionServer:
             except asyncio.TimeoutError:
                 pass  # give up on stragglers; executor shutdown is non-blocking
         self._executor.shutdown(wait=False)
+        self.service.close()  # flush/close the durable cache tier, if any
 
     def request_shutdown(self) -> None:
         """Signal-safe shutdown trigger (flips to drain mode)."""
@@ -184,7 +185,8 @@ class AdmissionServer:
             f"http://{self.config.host}:{self.port} "
             f"(queue_limit={self.config.queue_limit}, "
             f"analysis_timeout={self.config.analysis_timeout:g}s, "
-            f"cache_size={self.config.cache_size}, jobs={self.config.jobs})",
+            f"cache_size={self.config.cache_size}, jobs={self.config.jobs}, "
+            f"store={self.config.store_path or 'none'})",
             flush=True,
         )
         try:

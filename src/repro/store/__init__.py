@@ -1,0 +1,44 @@
+"""Persistent content-addressed result store and resumable sweeps.
+
+The durable layer under the analysis engine (see ``docs/storage.md``):
+
+* :class:`~repro.store.backend.ResultStore` — schema-versioned,
+  checksummed key/value store on stdlib ``sqlite3`` in WAL mode, with
+  insert-or-get writes, corruption quarantine, and TTL/GC compaction;
+* :class:`~repro.store.tiered.TieredCache` — LRU front + sqlite back,
+  giving ``python -m repro serve --store PATH`` a cache that survives
+  restarts;
+* :func:`~repro.store.checkpoint.run_sweep` — acceptance-ratio sweeps
+  that journal per-cell results and resume with bit-identical curves;
+* :mod:`~repro.store.provenance` — artifact stamps (code version, config
+  hash, seed, counter snapshot) audited by ``python -m repro store
+  verify``.
+"""
+
+from repro.store.backend import ResultStore, StoreStats, row_checksum
+from repro.store.checkpoint import SweepInterrupted, run_sweep, sweep_config_key
+from repro.store.provenance import (
+    config_hash,
+    provenance_record,
+    source_code_version,
+    stamp_payload,
+    verify_artifact,
+    verify_artifacts_dir,
+)
+from repro.store.tiered import TieredCache
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "row_checksum",
+    "SweepInterrupted",
+    "run_sweep",
+    "sweep_config_key",
+    "TieredCache",
+    "config_hash",
+    "provenance_record",
+    "source_code_version",
+    "stamp_payload",
+    "verify_artifact",
+    "verify_artifacts_dir",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.store`` — dispatch to the store CLI."""
+
+from repro.store.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,283 @@
+"""Checkpoint/resume layer for acceptance-ratio sweeps.
+
+Long sweeps (the E1–E15 suite at publication scale) are hours of work
+that the seed code restarted from zero on any interruption.  This module
+journals every completed ``(cell, seed)`` result through the
+:class:`~repro.store.backend.ResultStore` and makes
+:func:`run_sweep(..., resume=True) <run_sweep>` skip the finished cells.
+
+Why resumed sweeps are *bit-identical* to uninterrupted ones: each cell's
+workload derives from ``SeedSequence(seed, spawn_key=(level, sample))``
+(see :func:`repro.runner.cell_rng`), so a cell's result is a pure
+function of the sweep configuration and the cell index — independent of
+which process computes it, when, or in which order.  A journaled result
+and a recomputed one are therefore the same bytes, and the merged curve
+reduction below is the same arithmetic as
+:func:`repro.analysis.acceptance.acceptance_sweep` over the same rows.
+
+Checkpoint identity is content-addressed: the namespace key is a SHA-256
+over the canonical sweep configuration (algorithm *names*, generator
+parameters, processors, utilization grid, sample count, seed — floats
+encoded with ``float.hex()``).  Changing any of these yields a different
+namespace, so a resumed run can never mix cells from a different sweep.
+Note the algorithms participate by name only: renaming an algorithm
+invalidates its checkpoints, while changing its *implementation* does not
+— run ``python -m repro store gc``/``verify`` after algorithm changes, or
+use a fresh store file per code version (provenance stamps make stale
+artifacts detectable either way).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.acceptance import (
+    AcceptanceTest,
+    SweepResult,
+    evaluate_sweep_cell,
+)
+from repro.runner import chunked_map
+from repro.store.backend import ResultStore
+from repro.taskgen.generators import TaskSetGenerator
+
+__all__ = ["SweepInterrupted", "run_sweep", "sweep_config_key"]
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised when a sweep hits its ``max_new_cells`` budget mid-run.
+
+    The tests (and the benchmark) use the budget to simulate a killed
+    worker at a deterministic point; everything journaled before the
+    interruption is durable and a later ``resume=True`` run picks up
+    exactly where this one stopped.
+    """
+
+    def __init__(self, message: str, *, completed: int, total: int) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def sweep_config_key(
+    algorithm_names: Sequence[str],
+    generator: TaskSetGenerator,
+    *,
+    processors: int,
+    u_grid: Sequence[float],
+    samples: int,
+    seed: int,
+) -> str:
+    """Canonical content hash of one sweep configuration.
+
+    Floats are encoded with ``float.hex()`` so the key is exact, mirroring
+    :func:`repro.service.cache.admit_cache_key`.
+    """
+    gen_config = {
+        key: (_hex(value) if isinstance(value, float) else value)
+        for key, value in sorted(asdict(generator).items())
+    }
+    blob = json.dumps(
+        {
+            "kind": "acceptance_sweep",
+            "algorithms": list(algorithm_names),
+            "generator": gen_config,
+            "processors": int(processors),
+            "u_grid": [_hex(u) for u in u_grid],
+            "samples": int(samples),
+            "seed": int(seed),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _reduce_curves(
+    names: Sequence[str],
+    rows: Sequence[Tuple[bool, ...]],
+    u_grid: Sequence[float],
+    samples: int,
+) -> Dict[str, List[float]]:
+    """The exact curve reduction of ``acceptance_sweep`` (shared bytes)."""
+    curves: Dict[str, List[float]] = {name: [] for name in names}
+    for level_idx in range(len(u_grid)):
+        block = rows[level_idx * samples : (level_idx + 1) * samples]
+        for column, name in enumerate(names):
+            accepted = sum(1 for row in block if row[column])
+            curves[name].append(accepted / samples)
+    return curves
+
+
+def run_sweep(
+    algorithms: Mapping[str, AcceptanceTest],
+    generator: TaskSetGenerator,
+    *,
+    processors: int,
+    u_grid: Sequence[float],
+    samples: int = 100,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Optional[Union[ResultStore, str]] = None,
+    resume: bool = False,
+    checkpoint_every: Optional[int] = None,
+    max_new_cells: Optional[int] = None,
+    progress: Optional[Dict[str, int]] = None,
+) -> SweepResult:
+    """Acceptance-ratio sweep with durable per-cell checkpoints.
+
+    Without *store* this is exactly
+    :func:`~repro.analysis.acceptance.acceptance_sweep`.  With a store,
+    completed cells are journaled in batches of *checkpoint_every*
+    (default: one utilization level), and ``resume=True`` loads the
+    journal first and computes only the missing cells — the returned
+    curves are bit-identical either way.
+
+    ``max_new_cells`` bounds how many *new* cells this call may compute;
+    hitting the bound raises :class:`SweepInterrupted` after the journal
+    write, which is how tests simulate a mid-run kill at a deterministic
+    cutoff.  *progress*, when given, is filled with
+    ``cells_total``/``cells_resumed``/``cells_computed``.
+    """
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    if samples < 1:
+        raise ValueError("need at least one sample per level")
+    names = list(algorithms)
+    payload = (generator, [algorithms[n] for n in names], processors, seed)
+    cells = [
+        (level_idx, float(u_norm), sample_idx)
+        for level_idx, u_norm in enumerate(u_grid)
+        for sample_idx in range(samples)
+    ]
+
+    owns_store = isinstance(store, str)
+    backend: Optional[ResultStore] = (
+        ResultStore(store) if owns_store else store  # type: ignore[arg-type]
+    )
+    try:
+        rows = _run_cells(
+            backend,
+            names,
+            generator,
+            payload,
+            cells,
+            processors=processors,
+            u_grid=u_grid,
+            samples=samples,
+            seed=seed,
+            jobs=jobs,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            max_new_cells=max_new_cells,
+            progress=progress,
+        )
+    finally:
+        if owns_store and backend is not None:
+            backend.close()
+
+    return SweepResult(
+        u_grid=[float(u) for u in u_grid],
+        processors=processors,
+        samples=samples,
+        curves=_reduce_curves(names, rows, u_grid, samples),
+    )
+
+
+def _run_cells(
+    backend: Optional[ResultStore],
+    names: Sequence[str],
+    generator: TaskSetGenerator,
+    payload: object,
+    cells: List[Tuple[int, float, int]],
+    *,
+    processors: int,
+    u_grid: Sequence[float],
+    samples: int,
+    seed: int,
+    jobs: int,
+    resume: bool,
+    checkpoint_every: Optional[int],
+    max_new_cells: Optional[int],
+    progress: Optional[Dict[str, int]],
+) -> List[Tuple[bool, ...]]:
+    """Compute (or load) every cell, journaling through *backend*."""
+    if backend is None:
+        rows = chunked_map(evaluate_sweep_cell, cells, payload=payload, jobs=jobs)
+        if progress is not None:
+            progress.update(
+                cells_total=len(cells), cells_resumed=0,
+                cells_computed=len(cells),
+            )
+        return rows
+
+    namespace = "sweep:" + sweep_config_key(
+        names, generator,
+        processors=processors, u_grid=u_grid, samples=samples, seed=seed,
+    )
+    finished: Dict[str, object] = (
+        backend.get_namespace(namespace) if resume else {}
+    )
+
+    def cell_key(cell: Tuple[int, float, int]) -> str:
+        return f"{cell[0]}:{cell[2]}"
+
+    results: Dict[str, Tuple[bool, ...]] = {}
+    pending: List[Tuple[int, float, int]] = []
+    for cell in cells:
+        key = cell_key(cell)
+        value = finished.get(key)
+        if isinstance(value, list) and len(value) == len(names):
+            results[key] = tuple(bool(v) for v in value)
+        else:
+            pending.append(cell)
+
+    resumed = len(results)
+    batch_size = checkpoint_every if checkpoint_every else samples
+    computed = 0
+    budget_hit = False
+    index = 0
+    while index < len(pending):
+        size = batch_size
+        if max_new_cells is not None:
+            remaining = max_new_cells - computed
+            if remaining <= 0:
+                budget_hit = True
+                break
+            size = min(size, remaining)
+        batch = pending[index : index + size]
+        batch_rows = chunked_map(
+            evaluate_sweep_cell, batch, payload=payload, jobs=jobs
+        )
+        backend.put_many(
+            namespace,
+            {
+                cell_key(cell): [int(flag) for flag in row]
+                for cell, row in zip(batch, batch_rows)
+            },
+        )
+        for cell, row in zip(batch, batch_rows):
+            results[cell_key(cell)] = tuple(bool(flag) for flag in row)
+        computed += len(batch)
+        index += len(batch)
+
+    if progress is not None:
+        progress.update(
+            cells_total=len(cells), cells_resumed=resumed,
+            cells_computed=computed,
+        )
+    if budget_hit or len(results) < len(cells):
+        raise SweepInterrupted(
+            f"sweep stopped after {computed} new cells "
+            f"({len(results)}/{len(cells)} journaled); "
+            "rerun with resume=True to continue",
+            completed=len(results),
+            total=len(cells),
+        )
+    return [results[cell_key(cell)] for cell in cells]

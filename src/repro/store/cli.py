@@ -1,0 +1,176 @@
+"""``python -m repro store`` — operate on persistent result stores.
+
+Subcommands::
+
+    python -m repro store stats  results.db
+    python -m repro store gc     results.db --ttl 604800 --max-entries 100000
+    python -m repro store verify results.db --artifacts benchmarks/results
+    python -m repro store export results.db -o backup.jsonl
+    python -m repro store import results.db -i backup.jsonl
+
+``verify`` re-checksums every row (dropping and reporting corrupted ones)
+and, with ``--artifacts``, audits bench/experiment JSON artifacts against
+their provenance stamps.  Exit codes: 0 clean, 1 findings (corrupt rows or
+mismatched artifacts; code *drift* counts only under ``--strict``),
+2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.store.backend import ResultStore
+from repro.store.provenance import verify_artifacts_dir
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        stats = store.stats().as_dict()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"store {stats['path']}: {stats['entries']} entries, "
+          f"{stats['file_bytes']} bytes on disk")
+    for namespace, count in stats["by_namespace"].items():
+        print(f"  {namespace or '(default)'}: {count}")
+    if stats["quarantined_files"]:
+        print(f"  quarantined files this open: {stats['quarantined_files']}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        report = store.gc(ttl_seconds=args.ttl, max_entries=args.max_entries)
+    print(f"gc {args.store}: removed {report['removed_ttl']} by TTL, "
+          f"{report['removed_capacity']} over capacity; "
+          f"{report['remaining']} entries remain")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    findings = 0
+    if args.store:
+        with ResultStore(args.store) as store:
+            quarantined = store.quarantined_files
+            bad = store.verify()
+            remaining = len(store)
+        if quarantined:
+            print(f"{args.store}: file was corrupted — quarantined and "
+                  "rebuilt empty")
+            findings += quarantined
+        for namespace, key in bad:
+            print(f"{args.store}: CORRUPT row dropped "
+                  f"[{namespace or '(default)'}] {key}")
+        findings += len(bad)
+        print(f"{args.store}: {remaining} entries verified, "
+              f"{len(bad)} corrupt row(s) removed")
+    if args.artifacts:
+        grouped = verify_artifacts_dir(args.artifacts)
+        for status in ("mismatch", "unreadable", "drift", "unstamped", "ok"):
+            for name, problems in grouped.get(status, []):
+                label = status.upper()
+                detail = f" ({'; '.join(problems)})" if problems else ""
+                print(f"{args.artifacts}/{name}: {label}{detail}")
+        findings += len(grouped.get("mismatch", []))
+        findings += len(grouped.get("unreadable", []))
+        if args.strict:
+            findings += len(grouped.get("drift", []))
+    return 1 if findings else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        lines = list(store.export_jsonl())
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        print(f"exported {len(lines)} rows to {args.output}")
+    else:
+        if text:
+            print(text)
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    with open(args.input, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    with ResultStore(args.store) as store:
+        report = store.import_jsonl(iter(lines))
+    print(f"imported {report['imported']} rows into {args.store} "
+          f"({report['skipped']} skipped: foreign schema version)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Inspect and maintain persistent result stores "
+        "(see docs/storage.md).",
+    )
+    sub = parser.add_subparsers(dest="store_command", required=True)
+
+    p_stats = sub.add_parser("stats", help="row counts and file size")
+    p_stats.add_argument("store", help="path to the store database")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gc = sub.add_parser("gc", help="TTL/capacity compaction + VACUUM")
+    p_gc.add_argument("store")
+    p_gc.add_argument("--ttl", type=float, default=None,
+                      help="drop rows not accessed in this many seconds")
+    p_gc.add_argument("--max-entries", type=int, default=None,
+                      help="keep at most this many most-recently-used rows")
+    p_gc.set_defaults(func=_cmd_gc)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="re-checksum rows; audit artifact provenance stamps",
+    )
+    p_verify.add_argument("store", nargs="?", default=None,
+                          help="store database to verify (optional when "
+                          "--artifacts is given)")
+    p_verify.add_argument("--artifacts", default=None,
+                          help="also audit *.json artifacts in this "
+                          "directory against their provenance stamps")
+    p_verify.add_argument("--strict", action="store_true",
+                          help="count code drift as a finding (exit 1)")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_export = sub.add_parser("export", help="dump rows as JSONL")
+    p_export.add_argument("store")
+    p_export.add_argument("--output", "-o", default=None,
+                          help="write here instead of stdout")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_import = sub.add_parser("import", help="load rows from JSONL")
+    p_import.add_argument("store")
+    p_import.add_argument("--input", "-i", required=True,
+                          help="JSONL file produced by 'store export'")
+    p_import.set_defaults(func=_cmd_import)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.store_command == "verify" and not args.store and not args.artifacts:
+        print("error: verify needs a store path and/or --artifacts DIR",
+              file=sys.stderr)
+        return 2
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

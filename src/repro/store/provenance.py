@@ -1,0 +1,202 @@
+"""Provenance stamps for experiment/bench artifacts.
+
+PR 3 discovered that bench artifacts committed at the seed were silently
+stale for this environment — nothing recorded *which code* produced them,
+so drift was invisible until someone re-ran the suite.  This module makes
+artifacts self-describing: a ``"provenance"`` block recording
+
+* ``code_version`` — a content hash over every ``.py`` file of the
+  installed ``repro`` package (works without git, detects any source
+  change);
+* ``config_hash`` — a canonical hash of the artifact's own config block,
+  so a hand-edited config no longer matches its stamp;
+* ``seed`` and a :data:`~repro.perf.telemetry.COUNTERS` snapshot, so a
+  rerun can be compared number-for-number;
+* the payload schema version, tying the artifact to the serialization
+  format it was written under.
+
+:func:`repro.perf.telemetry.write_bench_json` stamps every artifact it
+writes; ``python -m repro store verify --artifacts DIR`` re-derives the
+hashes and flags tampered configs (error) and code drift (warning, error
+under ``--strict``) without crashing on unstamped or non-JSON files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.serialization import SCHEMA_VERSION as PAYLOAD_SCHEMA_VERSION
+from repro.perf.telemetry import COUNTERS
+
+__all__ = [
+    "source_code_version",
+    "config_hash",
+    "file_sha256",
+    "provenance_record",
+    "stamp_payload",
+    "verify_artifact",
+    "verify_artifacts_dir",
+]
+
+PROVENANCE_FORMAT = "repro-provenance-v1"
+
+
+@lru_cache(maxsize=1)
+def source_code_version() -> str:
+    """Content hash of the repro package source (stable per code state).
+
+    Hashes every ``.py`` file under the package root in sorted relative
+    order, so it is independent of filesystem layout and needs no git
+    checkout.  Cached per process — the source does not change under a
+    running interpreter.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return "src-" + digest.hexdigest()[:20]
+
+
+def config_hash(config: object) -> str:
+    """Canonical hash of an artifact's config block (order-insensitive)."""
+    blob = json.dumps(
+        config, separators=(",", ":"), sort_keys=True, default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def provenance_record(
+    *,
+    seed: Optional[int] = None,
+    config: object = None,
+    counters: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """Build a provenance block for an artifact being written now."""
+    return {
+        "format": PROVENANCE_FORMAT,
+        "code_version": source_code_version(),
+        "payload_schema_version": PAYLOAD_SCHEMA_VERSION,
+        "seed": seed,
+        "config_hash": config_hash(config),
+        "counters": dict(counters) if counters is not None
+        else COUNTERS.snapshot(),
+    }
+
+
+def stamp_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Attach a provenance block to a bench/experiment payload in place.
+
+    The config block being stamped is the payload's own ``"config"`` entry
+    (``None`` if absent), and the seed is lifted from it when present; a
+    payload already stamped is returned unchanged so explicit stamps win.
+    """
+    if "provenance" in payload:
+        return payload
+    config = payload.get("config")
+    seed: Optional[int] = None
+    if isinstance(config, dict):
+        raw_seed = config.get("seed")
+        if isinstance(raw_seed, int) and not isinstance(raw_seed, bool):
+            seed = raw_seed
+    payload["provenance"] = provenance_record(seed=seed, config=config)
+    return payload
+
+
+def file_sha256(path: str) -> str:
+    """Content hash of one artifact file (binding sidecars to outputs)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _verify_bound_files(path: str, payload: Dict[str, object]) -> List[str]:
+    """Re-hash sibling files recorded in ``config["files"]``.
+
+    Experiment sidecars bind their ``.txt``/``.csv`` outputs by checksum
+    (inside the config block, so the recorded hashes are themselves
+    covered by ``config_hash``); an edited or missing output file is a
+    mismatch even though the sidecar JSON is internally consistent.
+    """
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        return []
+    files = config.get("files")
+    if not isinstance(files, dict):
+        return []
+    base = os.path.dirname(os.path.abspath(path))
+    problems: List[str] = []
+    for name in sorted(files):
+        target = os.path.join(base, str(name))
+        if not os.path.isfile(target):
+            problems.append(f"recorded file {name!r} is missing")
+        elif file_sha256(target) != files[name]:
+            problems.append(
+                f"recorded file {name!r} has changed since stamping"
+            )
+    return problems
+
+
+def verify_artifact(path: str) -> Tuple[str, List[str]]:
+    """Check one artifact file; returns ``(status, problems)``.
+
+    Statuses: ``"ok"`` (stamp matches), ``"drift"`` (valid stamp, but the
+    code has changed since — the PR-3 staleness case), ``"mismatch"``
+    (stamp inconsistent with the artifact's content: tampered or
+    corrupted), ``"unstamped"`` (no provenance block), ``"unreadable"``
+    (not JSON).  Never raises on bad input.
+    """
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return "unreadable", [f"cannot parse: {exc}"]
+    if not isinstance(payload, dict) or "provenance" not in payload:
+        return "unstamped", ["no provenance block"]
+    stamp = payload["provenance"]
+    if not isinstance(stamp, dict) or stamp.get("format") != PROVENANCE_FORMAT:
+        return "mismatch", ["provenance block has an unknown format"]
+    expected = config_hash(payload.get("config"))
+    if stamp.get("config_hash") != expected:
+        problems.append(
+            "config_hash does not match the artifact's config block "
+            "(config edited after stamping?)"
+        )
+    if stamp.get("payload_schema_version") != PAYLOAD_SCHEMA_VERSION:
+        problems.append(
+            f"payload schema version {stamp.get('payload_schema_version')!r}"
+            f" != current {PAYLOAD_SCHEMA_VERSION}"
+        )
+    problems.extend(_verify_bound_files(path, payload))
+    if problems:
+        return "mismatch", problems
+    if stamp.get("code_version") != source_code_version():
+        return "drift", [
+            f"written by {stamp.get('code_version')}, current code is "
+            f"{source_code_version()} — rerun to refresh"
+        ]
+    return "ok", []
+
+
+def verify_artifacts_dir(directory: str) -> Dict[str, List[Tuple[str, List[str]]]]:
+    """Verify every ``*.json`` under *directory*, grouped by status."""
+    grouped: Dict[str, List[Tuple[str, List[str]]]] = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        status, problems = verify_artifact(path)
+        grouped.setdefault(status, []).append((name, problems))
+    return grouped

@@ -1,0 +1,107 @@
+"""Two-tier result cache: in-memory LRU front, durable sqlite back.
+
+Drop-in replacement for the service's :class:`~repro.service.cache.LRUCache`
+(same ``get``/``put``/``stats`` surface), used by
+:class:`~repro.service.handlers.AdmissionService` when ``python -m repro
+serve`` is given ``--store PATH``.  Reads probe the memory tier first and
+fall back to the store, promoting durable hits into memory; writes go to
+both tiers.  A restarted server therefore starts *warm*: everything the
+previous process computed is one sqlite read away, and the first repeat
+request is already a cache hit instead of a recompute.
+
+Counter semantics: ``svc_cache_hits``/``svc_cache_misses`` count the
+*combined* cache outcome (a durable hit is a cache hit — the request was
+not recomputed), while the ``st_*`` counters incremented by the backend
+break out how often the durable tier was the one that answered.  The
+front tier runs with ``mirror_counters=False`` so a memory miss that the
+store answers is not double-counted as a miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.perf.telemetry import COUNTERS
+from repro.service.cache import LRUCache
+from repro.store.backend import ResultStore
+
+__all__ = ["TieredCache"]
+
+
+class TieredCache:
+    """LRU front + :class:`ResultStore` back, promoting on durable hits."""
+
+    def __init__(
+        self,
+        capacity: int,
+        store: ResultStore,
+        *,
+        namespace: str = "service",
+    ) -> None:
+        self.memory = LRUCache(capacity, mirror_counters=False)
+        self.store = store
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+        #: Hits answered by the durable tier (subset of ``hits``).
+        self.store_hits = 0
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def get(self, key: str) -> Tuple[bool, Optional[object]]:
+        """Return ``(found, value)``, probing memory then the store."""
+        found, value = self.memory.get(key)
+        if found:
+            self.hits += 1
+            COUNTERS.svc_cache_hits += 1
+            return True, value
+        found, value = self.store.get(self.namespace, key)
+        if found:
+            self.memory.put(key, value)
+            self.hits += 1
+            self.store_hits += 1
+            COUNTERS.svc_cache_hits += 1
+            return True, value
+        self.misses += 1
+        COUNTERS.svc_cache_misses += 1
+        return False, None
+
+    def put(self, key: str, value: object) -> None:
+        """Write through both tiers (insert-or-get in the durable one).
+
+        The memory tier keeps the store's canonical value when the key was
+        already present durably, so every tier serves the same bytes.
+        """
+        stored = self.store.put(self.namespace, key, value)
+        self.memory.put(key, stored)
+
+    def clear(self) -> None:
+        """Drop the memory tier only — durable entries are the point."""
+        self.memory.clear()
+
+    def close(self) -> None:
+        self.store.close()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot for ``/metrics`` (combined plus per-tier numbers)."""
+        return {
+            "size": len(self.memory),
+            "capacity": self.memory.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.memory.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+            "tiers": {
+                "memory": self.memory.stats(),
+                "store": {
+                    "hits": self.store_hits,
+                    **self.store.stats().as_dict(),
+                },
+            },
+        }

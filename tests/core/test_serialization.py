@@ -174,3 +174,43 @@ class TestSchedulerValidation:
         data = partition_to_dict(part)
         del data["info"]["scheduler"]  # hand-written payloads may omit it
         assert partition_from_dict(data).scheduler == "edf"
+
+
+class TestSchemaVersion:
+    """PR-4 satellite: payloads carry a schema version and mismatches fail."""
+
+    def test_version_embedded_in_dict(self, harmonic_set):
+        from repro.core.serialization import SCHEMA_VERSION
+
+        data = partition_to_dict(partition_rmts(harmonic_set, 2))
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_version_written_to_file(self, harmonic_set, tmp_path):
+        from repro.core.serialization import SCHEMA_VERSION
+
+        path = tmp_path / "part.json"
+        save_partition(partition_rmts(harmonic_set, 2), str(path))
+        assert json.loads(path.read_text())["schema_version"] == SCHEMA_VERSION
+
+    def test_mismatched_version_rejected(self, harmonic_set):
+        data = partition_to_dict(partition_rmts(harmonic_set, 2))
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            partition_from_dict(data)
+
+    def test_mismatched_version_rejected_from_file(
+        self, harmonic_set, tmp_path
+    ):
+        data = partition_to_dict(partition_rmts(harmonic_set, 2))
+        data["schema_version"] = 999
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema version"):
+            load_partition(str(path))
+
+    def test_legacy_payload_without_version_accepted(self, harmonic_set):
+        # Payloads written before the field existed are version-1 by
+        # definition and must keep loading.
+        data = partition_to_dict(partition_rmts(harmonic_set, 2))
+        del data["schema_version"]
+        assert partition_from_dict(data).validate() == []

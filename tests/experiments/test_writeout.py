@@ -29,3 +29,36 @@ class TestWriteDir:
         assert main(["e8", "e6", "--write-dir", str(out)]) == 0
         assert (out / "e8.txt").exists()
         assert (out / "e6.txt").exists()
+
+
+class TestProvenanceSidecar:
+    def test_sidecar_written_and_verifies(self, tmp_path, capsys):
+        from repro.store.provenance import verify_artifact
+
+        out = tmp_path / "results"
+        assert main(["e6", "--write-dir", str(out)]) == 0
+        sidecar = out / "e6_provenance.json"
+        assert sidecar.exists()
+        assert verify_artifact(str(sidecar)) == ("ok", [])
+
+    def test_sidecar_flags_edited_output(self, tmp_path, capsys):
+        from repro.store.provenance import verify_artifact
+
+        out = tmp_path / "results"
+        assert main(["e6", "--write-dir", str(out)]) == 0
+        report_file = out / "e6.txt"
+        report_file.write_text(report_file.read_text() + "edited later\n")
+        status, problems = verify_artifact(str(out / "e6_provenance.json"))
+        assert status == "mismatch"
+        assert any("e6.txt" in p for p in problems)
+
+    def test_sidecar_records_run_config(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "results"
+        assert main(["e6", "--write-dir", str(out), "--seed", "5"]) == 0
+        payload = json.loads((out / "e6_provenance.json").read_text())
+        assert payload["config"]["seed"] == 5
+        assert payload["config"]["quick"] is True
+        assert payload["provenance"]["seed"] == 5
+        assert payload["checks_pass"] is True

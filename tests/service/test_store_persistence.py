@@ -1,0 +1,70 @@
+"""Service + store integration: the cache survives a server restart."""
+
+import pytest
+
+from tests.service.conftest import http_request, run_async, running_server
+
+pytestmark = [pytest.mark.service, pytest.mark.store]
+
+
+class TestRestartPersistence:
+    def test_restarted_server_serves_cached_results(
+        self, tasks_payload, tmp_path
+    ):
+        store_path = str(tmp_path / "service.db")
+        payload = {"tasks": tasks_payload, "processors": 2}
+
+        async def first_life():
+            async with running_server(store_path=store_path) as server:
+                return await http_request(
+                    server.port, "POST", "/v1/admit", payload
+                )
+
+        async def second_life():
+            async with running_server(store_path=store_path) as server:
+                response = await http_request(
+                    server.port, "POST", "/v1/admit", payload
+                )
+                metrics = await http_request(server.port, "GET", "/metrics")
+                return response, metrics
+
+        status1, headers1, body1 = run_async(first_life())
+        (status2, headers2, body2), (_, _, metrics) = run_async(second_life())
+
+        assert (status1, status2) == (200, 200)
+        assert headers1["x-repro-cache"] == "miss"  # cold: computed
+        assert headers2["x-repro-cache"] == "hit"   # warm across restart
+        assert body2 == body1                       # same bytes, no recompute
+        # the hit was answered by the durable tier of the fresh process
+        assert metrics["cache"]["tiers"]["store"]["hits"] == 1
+
+    def test_metrics_expose_tier_breakdown(self, tasks_payload, tmp_path):
+        store_path = str(tmp_path / "service.db")
+
+        async def scenario():
+            async with running_server(store_path=store_path) as server:
+                await http_request(
+                    server.port, "POST", "/v1/admit",
+                    {"tasks": tasks_payload, "processors": 2},
+                )
+                return await http_request(server.port, "GET", "/metrics")
+
+        _, _, metrics = run_async(scenario())
+        tiers = metrics["cache"]["tiers"]
+        assert tiers["store"]["entries"] == 1
+        assert tiers["memory"]["size"] == 1
+
+    def test_without_store_flag_nothing_persists(self, tasks_payload):
+        # control: the plain LRU configuration stays cold across restarts
+        payload = {"tasks": tasks_payload, "processors": 2}
+
+        async def one_life():
+            async with running_server() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/admit", payload
+                )
+
+        _, h1, _ = run_async(one_life())
+        _, h2, _ = run_async(one_life())
+        assert h1["x-repro-cache"] == "miss"
+        assert h2["x-repro-cache"] == "miss"

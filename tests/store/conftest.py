@@ -1,0 +1,35 @@
+"""Shared fixtures for the persistent result-store tests."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.store.backend import ResultStore
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "results.db")
+
+
+@pytest.fixture
+def store(store_path):
+    """An open store in a fresh temporary file."""
+    with ResultStore(store_path) as st:
+        yield st
+
+
+def raw_sql(path: str, statement: str, params=()) -> None:
+    """Run one statement against the store file with a private connection.
+
+    Used to simulate tampering/bit rot that the store's own API would
+    never produce (checksums are recomputed on every legitimate write).
+    """
+    conn = sqlite3.connect(path)
+    try:
+        conn.execute(statement, params)
+        conn.commit()
+    finally:
+        conn.close()

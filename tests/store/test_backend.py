@@ -1,0 +1,247 @@
+"""ResultStore: insert-or-get, durability, corruption handling, GC, export."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.telemetry import COUNTERS
+from repro.store.backend import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    row_checksum,
+)
+
+from .conftest import raw_sql
+
+pytestmark = pytest.mark.store
+
+
+class TestInsertOrGet:
+    def test_put_then_get(self, store):
+        store.put("ns", "k", {"answer": 42})
+        found, value = store.get("ns", "k")
+        assert found and value == {"answer": 42}
+
+    def test_first_writer_wins(self, store):
+        assert store.put("ns", "k", [1, 2]) == [1, 2]
+        # a losing writer gets the stored value back, not its own
+        assert store.put("ns", "k", [9, 9]) == [1, 2]
+        assert store.get("ns", "k") == (True, [1, 2])
+
+    def test_namespaces_are_disjoint(self, store):
+        store.put("a", "k", 1)
+        store.put("b", "k", 2)
+        assert store.get("a", "k") == (True, 1)
+        assert store.get("b", "k") == (True, 2)
+
+    def test_put_many_and_get_namespace(self, store):
+        items = {f"k{i}": [i, i + 1] for i in range(10)}
+        store.put_many("bulk", items)
+        assert store.get_namespace("bulk") == items
+        assert len(store) == 10
+
+    def test_miss_on_absent_key(self, store):
+        assert store.get("ns", "nope") == (False, None)
+
+
+class TestDurability:
+    def test_survives_close_and_reopen(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put("ns", "k", {"x": [1.5, 2.5]})
+        with ResultStore(store_path) as st:
+            assert st.get("ns", "k") == (True, {"x": [1.5, 2.5]})
+            assert st.quarantined_files == 0
+
+    def test_counters_mirrored(self, store):
+        before = COUNTERS.snapshot()
+        store.put("ns", "k", 1)
+        store.get("ns", "k")
+        store.get("ns", "absent")
+        delta = COUNTERS.delta_since(before)
+        assert delta["st_puts"] == 1
+        assert delta["st_hits"] == 1
+        assert delta["st_misses"] == 1
+
+
+class TestCorruption:
+    def test_corrupt_row_is_dropped_not_served(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put("ns", "k", {"real": True})
+        raw_sql(
+            store_path,
+            "UPDATE entries SET payload = ? WHERE key = ?",
+            ('{"forged":true}', "k"),
+        )
+        before = COUNTERS.snapshot()
+        with ResultStore(store_path) as st:
+            assert st.get("ns", "k") == (False, None)  # never served
+            assert len(st) == 0  # and removed
+        delta = COUNTERS.delta_since(before)
+        assert delta["st_corrupt_rows"] == 1
+        assert delta["st_misses"] == 1
+        assert delta["st_hits"] == 0
+
+    def test_rekeyed_row_fails_checksum(self, store_path):
+        # the namespace/key participate in the checksum preimage, so
+        # copying a valid payload onto another key must also fail
+        with ResultStore(store_path) as st:
+            st.put("ns", "a", 1)
+        raw_sql(store_path, "UPDATE entries SET key = 'b'")
+        with ResultStore(store_path) as st:
+            assert st.get("ns", "b") == (False, None)
+
+    def test_get_namespace_skips_bad_rows(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put_many("ns", {"good": [1], "bad": [2]})
+        raw_sql(
+            store_path,
+            "UPDATE entries SET payload = '[3]' WHERE key = 'bad'",
+        )
+        with ResultStore(store_path) as st:
+            assert st.get_namespace("ns") == {"good": [1]}
+            assert len(st) == 1
+
+    def test_verify_reports_and_repairs(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put_many("ns", {f"k{i}": i for i in range(5)})
+        raw_sql(
+            store_path,
+            "UPDATE entries SET payload = '999' WHERE key = 'k2'",
+        )
+        with ResultStore(store_path) as st:
+            assert st.verify() == [("ns", "k2")]
+            assert st.verify() == []  # repaired by removal
+            assert len(st) == 4
+
+    def test_schema_version_mismatch_evicts(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put("ns", "k", 1)
+        # forge a row from a "future" payload schema (keep checksum valid,
+        # since schema invalidation is a separate check from bit rot)
+        raw_sql(store_path, "UPDATE entries SET schema_version = 999")
+        before = COUNTERS.snapshot()
+        with ResultStore(store_path) as st:
+            assert st.get("ns", "k") == (False, None)
+            assert len(st) == 0
+        assert COUNTERS.delta_since(before)["st_schema_evictions"] == 1
+
+
+class TestQuarantine:
+    def test_garbage_file_is_quarantined_and_rebuilt(self, store_path):
+        with open(store_path, "wb") as fh:
+            fh.write(b"this is not a sqlite database at all")
+        before = COUNTERS.snapshot()
+        with ResultStore(store_path) as st:
+            assert st.quarantined_files == 1
+            st.put("ns", "k", 1)  # the rebuilt store is fully usable
+            assert st.get("ns", "k") == (True, 1)
+        assert os.path.exists(store_path + ".corrupt-0")
+        assert COUNTERS.delta_since(before)["st_quarantines"] == 1
+
+    def test_unknown_store_schema_is_quarantined(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put("ns", "k", 1)
+        raw_sql(
+            store_path,
+            "UPDATE meta SET value = ? WHERE key = 'store_schema_version'",
+            (str(STORE_SCHEMA_VERSION + 1),),
+        )
+        with ResultStore(store_path) as st:
+            assert st.quarantined_files == 1
+            assert len(st) == 0  # rebuilt empty, old file set aside
+
+    def test_quarantine_names_do_not_collide(self, store_path):
+        for expected in ("corrupt-0", "corrupt-1"):
+            with open(store_path, "wb") as fh:
+                fh.write(b"garbage")
+            with ResultStore(store_path):
+                pass
+            assert os.path.exists(f"{store_path}.{expected}")
+
+
+class TestGC:
+    def test_ttl_removes_stale_rows(self, store_path):
+        with ResultStore(store_path) as st:
+            st.put_many("ns", {"old": 1, "new": 2})
+        raw_sql(
+            store_path,
+            "UPDATE entries SET last_access = 1.0 WHERE key = 'old'",
+        )
+        before = COUNTERS.snapshot()
+        with ResultStore(store_path) as st:
+            report = st.gc(ttl_seconds=3600.0)
+            assert report["removed_ttl"] == 1
+            assert st.get("ns", "new") == (True, 2)
+            assert st.get("ns", "old") == (False, None)
+        assert COUNTERS.delta_since(before)["st_gc_removed"] == 1
+
+    def test_capacity_keeps_most_recently_used(self, store):
+        store.put_many("ns", {f"k{i}": i for i in range(6)})
+        store.get("ns", "k0")  # refresh k0 so it survives the cut
+        report = store.gc(max_entries=3)
+        assert report["removed_capacity"] == 3
+        assert report["remaining"] == 3
+        assert store.get("ns", "k0") == (True, 0)
+
+    def test_noop_gc(self, store):
+        store.put("ns", "k", 1)
+        report = store.gc()
+        assert report == {
+            "removed_ttl": 0, "removed_capacity": 0, "remaining": 1,
+        }
+
+
+class TestExportImport:
+    def test_round_trip_is_byte_identical(self, store_path, tmp_path):
+        with ResultStore(store_path) as st:
+            st.put("ns", "k1", {"u": 0.1 + 0.2})  # non-trivial float bytes
+            st.put("other", "k2", [1, "two", None])
+            lines = list(st.export_jsonl())
+        other = str(tmp_path / "copy.db")
+        with ResultStore(other) as st:
+            report = st.import_jsonl(iter(lines))
+            assert report == {"imported": 2, "skipped": 0}
+            assert list(st.export_jsonl()) == lines  # exact same bytes
+            assert st.get("ns", "k1") == (True, {"u": 0.1 + 0.2})
+
+    def test_foreign_schema_rows_are_skipped(self, store):
+        line = json.dumps({
+            "namespace": "ns", "key": "k", "payload": "1",
+            "schema_version": 999, "created_at": 0.0,
+        })
+        report = store.import_jsonl(iter([line, "", "  "]))
+        assert report == {"imported": 0, "skipped": 1}
+        assert len(store) == 0
+
+    def test_import_refuses_non_json_payload(self, store):
+        line = json.dumps({
+            "namespace": "ns", "key": "k", "payload": "not json {",
+            "schema_version": 1, "created_at": 0.0,
+        })
+        with pytest.raises(json.JSONDecodeError):
+            store.import_jsonl(iter([line]))
+
+
+class TestStats:
+    def test_stats_shape(self, store):
+        store.put_many("a", {"k1": 1, "k2": 2})
+        store.put("b", "k3", 3)
+        stats = store.stats().as_dict()
+        assert stats["entries"] == 3
+        assert stats["by_namespace"] == {"a": 2, "b": 1}
+        assert stats["file_bytes"] > 0
+        assert stats["quarantined_files"] == 0
+        assert stats["store_schema_version"] == STORE_SCHEMA_VERSION
+
+
+class TestRowChecksum:
+    def test_components_all_matter(self):
+        base = row_checksum("ns", "k", "payload")
+        assert row_checksum("ns", "k", "payload2") != base
+        assert row_checksum("ns", "k2", "payload") != base
+        assert row_checksum("ns2", "k", "payload") != base
+        # and the separator prevents boundary ambiguity
+        assert row_checksum("nsk", "", "payload") != row_checksum(
+            "ns", "k", "payload"
+        )

@@ -1,0 +1,184 @@
+"""Resume determinism: interrupted sweeps continue bit-identically.
+
+The load-bearing property is that a sweep interrupted at an arbitrary
+cell boundary and later resumed produces *byte-identical* curves to an
+uninterrupted run — and recomputes only the unfinished cells, which the
+``rta_calls`` counter delta makes observable.
+"""
+
+import pytest
+
+from repro.analysis.acceptance import acceptance_sweep
+from repro.analysis.algorithms import standard_algorithms
+from repro.perf.telemetry import COUNTERS
+from repro.store.backend import ResultStore
+from repro.store.checkpoint import (
+    SweepInterrupted,
+    run_sweep,
+    sweep_config_key,
+)
+from repro.taskgen.generators import TaskSetGenerator
+
+pytestmark = pytest.mark.store
+
+# Small but non-degenerate: utilizations high enough that acceptance
+# actually varies (curves of all 1.0 would vacuously "match").
+GEN = TaskSetGenerator(n=6, period_model="loguniform")
+ALGOS = standard_algorithms()
+SWEEP_KWARGS = dict(
+    processors=2,
+    u_grid=[0.75, 0.88, 0.96],
+    samples=5,
+    seed=7,
+)
+TOTAL_CELLS = len(SWEEP_KWARGS["u_grid"]) * SWEEP_KWARGS["samples"]
+
+
+def reference_sweep():
+    return acceptance_sweep(ALGOS, GEN, **SWEEP_KWARGS)
+
+
+class TestEquivalence:
+    def test_no_store_matches_acceptance_sweep(self):
+        assert run_sweep(ALGOS, GEN, **SWEEP_KWARGS).curves == \
+            reference_sweep().curves
+
+    def test_journaled_run_matches_acceptance_sweep(self, store):
+        result = run_sweep(ALGOS, GEN, store=store, **SWEEP_KWARGS)
+        assert result.curves == reference_sweep().curves
+        assert len(store) == TOTAL_CELLS
+
+    def test_curves_vary_across_the_grid(self):
+        # guard against the vacuous all-ones configuration
+        curves = reference_sweep().curves
+        assert any(len(set(curve)) > 1 for curve in curves.values())
+
+    def test_store_accepts_a_path(self, store_path):
+        result = run_sweep(ALGOS, GEN, store=store_path, **SWEEP_KWARGS)
+        assert result.curves == reference_sweep().curves
+        with ResultStore(store_path) as st:
+            assert len(st) == TOTAL_CELLS
+
+
+class TestInterruptAndResume:
+    def test_budget_raises_after_journaling(self, store):
+        with pytest.raises(SweepInterrupted) as exc:
+            run_sweep(
+                ALGOS, GEN, store=store, max_new_cells=7,
+                checkpoint_every=1, **SWEEP_KWARGS
+            )
+        assert exc.value.completed == 7
+        assert exc.value.total == TOTAL_CELLS
+        assert len(store) == 7  # everything computed so far is durable
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_resume_is_bit_identical(self, store, jobs):
+        progress = {}
+        with pytest.raises(SweepInterrupted):
+            run_sweep(
+                ALGOS, GEN, store=store, max_new_cells=7,
+                checkpoint_every=1, jobs=jobs, **SWEEP_KWARGS
+            )
+        resumed = run_sweep(
+            ALGOS, GEN, store=store, resume=True, jobs=jobs,
+            progress=progress, **SWEEP_KWARGS
+        )
+        assert resumed.curves == reference_sweep().curves
+        assert progress["cells_resumed"] == 7
+        assert progress["cells_computed"] == TOTAL_CELLS - 7
+
+    def test_resume_recomputes_only_unfinished_cells(self, store):
+        # Counter evidence: the analysis work of the resumed run is the
+        # work of the missing cells, not the whole sweep.
+        before_full = COUNTERS.snapshot()
+        run_sweep(ALGOS, GEN, **SWEEP_KWARGS)
+        full_rta = COUNTERS.delta_since(before_full)["rta_calls"]
+        assert full_rta > 0
+
+        with pytest.raises(SweepInterrupted):
+            run_sweep(
+                ALGOS, GEN, store=store, max_new_cells=7,
+                checkpoint_every=1, **SWEEP_KWARGS
+            )
+        before_resume = COUNTERS.snapshot()
+        run_sweep(ALGOS, GEN, store=store, resume=True, **SWEEP_KWARGS)
+        resume_rta = COUNTERS.delta_since(before_resume)["rta_calls"]
+        assert 0 < resume_rta < full_rta
+
+    def test_warm_resume_computes_nothing(self, store):
+        run_sweep(ALGOS, GEN, store=store, **SWEEP_KWARGS)
+        progress = {}
+        before = COUNTERS.snapshot()
+        warm = run_sweep(
+            ALGOS, GEN, store=store, resume=True, progress=progress,
+            **SWEEP_KWARGS
+        )
+        warm_rta = COUNTERS.delta_since(before)["rta_calls"]
+        assert warm.curves == reference_sweep().curves
+        assert progress["cells_computed"] == 0
+        assert progress["cells_resumed"] == TOTAL_CELLS
+        assert warm_rta == 0
+
+    def test_without_resume_flag_the_journal_is_ignored(self, store):
+        run_sweep(ALGOS, GEN, store=store, **SWEEP_KWARGS)
+        progress = {}
+        run_sweep(
+            ALGOS, GEN, store=store, resume=False, progress=progress,
+            **SWEEP_KWARGS
+        )
+        assert progress["cells_resumed"] == 0
+        assert progress["cells_computed"] == TOTAL_CELLS
+
+
+class TestConfigKey:
+    def test_every_parameter_matters(self):
+        base = dict(
+            processors=2, u_grid=[0.7, 0.8], samples=5, seed=0,
+        )
+        key = sweep_config_key(["A", "B"], GEN, **base)
+        assert key == sweep_config_key(["A", "B"], GEN, **base)
+        variants = [
+            sweep_config_key(["A"], GEN, **base),
+            sweep_config_key(["B", "A"], GEN, **base),
+            sweep_config_key(["A", "B"], GEN, **{**base, "processors": 4}),
+            sweep_config_key(["A", "B"], GEN, **{**base, "samples": 6}),
+            sweep_config_key(["A", "B"], GEN, **{**base, "seed": 1}),
+            sweep_config_key(
+                ["A", "B"], GEN, **{**base, "u_grid": [0.7, 0.81]}
+            ),
+            sweep_config_key(
+                ["A", "B"], TaskSetGenerator(n=7, period_model="loguniform"),
+                **base
+            ),
+        ]
+        assert key not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_float_grid_is_hashed_exactly(self):
+        base = dict(processors=2, samples=5, seed=0)
+        a = sweep_config_key(["A"], GEN, u_grid=[0.1 + 0.2], **base)
+        b = sweep_config_key(["A"], GEN, u_grid=[0.3], **base)
+        assert a != b  # 0.1+0.2 != 0.3 in IEEE-754, and the key knows
+
+    def test_different_configs_do_not_share_cells(self, store):
+        run_sweep(ALGOS, GEN, store=store, **SWEEP_KWARGS)
+        # same store file, different seed: nothing to resume from
+        progress = {}
+        other = dict(SWEEP_KWARGS, seed=SWEEP_KWARGS["seed"] + 1)
+        with pytest.raises(SweepInterrupted):
+            run_sweep(
+                ALGOS, GEN, store=store, resume=True, max_new_cells=1,
+                checkpoint_every=1, progress=progress, **other
+            )
+        assert progress.get("cells_resumed", 0) == 0
+
+
+class TestValidation:
+    def test_rejects_empty_algorithms(self):
+        with pytest.raises(ValueError):
+            run_sweep({}, GEN, **SWEEP_KWARGS)
+
+    def test_rejects_zero_samples(self):
+        bad = dict(SWEEP_KWARGS, samples=0)
+        with pytest.raises(ValueError):
+            run_sweep(ALGOS, GEN, **bad)

@@ -1,0 +1,117 @@
+"""``python -m repro store``: exit codes and operator-facing output."""
+
+import json
+
+import pytest
+
+from repro.store.backend import ResultStore
+from repro.store.cli import main as store_main
+from repro.store.provenance import stamp_payload
+
+from .conftest import raw_sql
+
+pytestmark = pytest.mark.store
+
+
+def populated(store_path, rows=3):
+    with ResultStore(store_path) as st:
+        st.put_many("admit", {f"k{i}": {"ok": i} for i in range(rows)})
+    return store_path
+
+
+class TestStats:
+    def test_human_output(self, store_path, capsys):
+        assert store_main(["stats", populated(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out and "admit: 3" in out
+
+    def test_json_output(self, store_path, capsys):
+        assert store_main(["stats", populated(store_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3
+        assert stats["by_namespace"] == {"admit": 3}
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, store_path, capsys):
+        assert store_main(["verify", populated(store_path)]) == 0
+        assert "0 corrupt row(s)" in capsys.readouterr().out
+
+    def test_corrupt_row_is_flagged_without_crashing(self, store_path, capsys):
+        populated(store_path)
+        raw_sql(
+            store_path,
+            "UPDATE entries SET payload = '\"forged\"' WHERE key = 'k1'",
+        )
+        assert store_main(["verify", store_path]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT row dropped" in out and "k1" in out
+        # the store was repaired, so a second verify is clean
+        assert store_main(["verify", store_path]) == 0
+
+    def test_garbage_file_is_quarantined_and_flagged(self, store_path, capsys):
+        with open(store_path, "wb") as fh:
+            fh.write(b"not sqlite")
+        assert store_main(["verify", store_path]) == 1
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_artifact_mismatch_is_flagged(self, tmp_path, capsys):
+        bad = stamp_payload({"config": {"seed": 1}, "kind": "x"})
+        bad["config"]["seed"] = 2  # tamper after stamping
+        (tmp_path / "bad.json").write_text(json.dumps(bad))
+        assert store_main(["verify", "--artifacts", str(tmp_path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_drift_is_a_warning_unless_strict(self, tmp_path, capsys):
+        drifted = stamp_payload({"config": {"seed": 1}, "kind": "x"})
+        drifted["provenance"]["code_version"] = "src-feedfeedfeedfeedfeed"
+        (tmp_path / "old.json").write_text(json.dumps(drifted))
+        assert store_main(["verify", "--artifacts", str(tmp_path)]) == 0
+        assert "DRIFT" in capsys.readouterr().out
+        assert store_main(
+            ["verify", "--artifacts", str(tmp_path), "--strict"]
+        ) == 1
+
+    def test_verify_needs_a_target(self, capsys):
+        assert store_main(["verify"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGC:
+    def test_capacity_gc(self, store_path, capsys):
+        populated(store_path, rows=5)
+        assert store_main(["gc", store_path, "--max-entries", "2"]) == 0
+        assert "2 entries remain" in capsys.readouterr().out
+
+
+class TestExportImport:
+    def test_round_trip_via_files(self, store_path, tmp_path, capsys):
+        populated(store_path)
+        dump = str(tmp_path / "dump.jsonl")
+        assert store_main(["export", store_path, "-o", dump]) == 0
+        target = str(tmp_path / "copy.db")
+        assert store_main(["import", target, "-i", dump]) == 0
+        assert "imported 3 rows" in capsys.readouterr().out
+        with ResultStore(target) as st:
+            assert st.get("admit", "k1") == (True, {"ok": 1})
+
+    def test_export_to_stdout(self, store_path, capsys):
+        populated(store_path, rows=1)
+        assert store_main(["export", store_path]) == 0
+        line = json.loads(capsys.readouterr().out.strip())
+        assert line["namespace"] == "admit"
+
+    def test_missing_input_file_is_a_usage_error(self, store_path, capsys):
+        assert store_main(
+            ["import", store_path, "-i", "/no/such/file.jsonl"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopLevelForwarding:
+    def test_repro_cli_forwards_to_store(self, store_path, capsys):
+        from repro.cli import main as repro_main
+
+        populated(store_path)
+        assert repro_main(["store", "stats", store_path]) == 0
+        assert "3 entries" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Crash consistency: SIGKILL a writer mid-transaction, reopen, no damage.
+
+WAL mode's contract is that a killed writer loses at most its uncommitted
+transaction; everything previously committed must read back intact, with
+no quarantine and no corrupt rows.  This is the property the service's
+``--store`` flag and the sweep checkpoints rely on.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store.backend import ResultStore
+
+pytestmark = pytest.mark.store
+
+# The victim commits one durable batch, reports, then writes forever in
+# small transactions until it is killed from outside.
+WRITER_SCRIPT = """
+import sys
+from repro.store.backend import ResultStore
+
+store = ResultStore(sys.argv[1])
+store.put_many("committed", {f"k{i}": [i, i * i] for i in range(50)})
+print("COMMITTED", flush=True)
+batch = 0
+while True:
+    store.put_many(
+        "churn",
+        {f"b{batch}:{j}": list(range(40)) for j in range(50)},
+    )
+    batch += 1
+"""
+
+
+def spawn_writer(store_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.Popen(
+        [sys.executable, "-c", WRITER_SCRIPT, store_path],
+        stdout=subprocess.PIPE,
+        env=env,
+    )
+
+
+class TestSigkillMidTransaction:
+    def test_committed_rows_survive_a_kill(self, store_path):
+        proc = spawn_writer(store_path)
+        try:
+            assert proc.stdout.readline().strip() == b"COMMITTED"
+            time.sleep(0.15)  # let it get deep into churn transactions
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert proc.returncode == -signal.SIGKILL
+
+        with ResultStore(store_path) as st:
+            # the file opened cleanly: quick_check passed, no quarantine
+            assert st.quarantined_files == 0
+            # the committed batch reads back bit-exact
+            assert st.get_namespace("committed") == {
+                f"k{i}": [i, i * i] for i in range(50)
+            }
+            # nothing anywhere fails its checksum — partial transactions
+            # were rolled back wholesale, not half-applied
+            assert st.verify() == []
+            # and the store is immediately writable again
+            st.put("after", "k", "alive")
+            assert st.get("after", "k") == (True, "alive")
+
+    def test_repeated_kills(self, store_path):
+        # survive several kill/reopen cycles against the same file
+        for _ in range(2):
+            proc = spawn_writer(store_path)
+            try:
+                assert proc.stdout.readline().strip() == b"COMMITTED"
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+            with ResultStore(store_path) as st:
+                assert st.quarantined_files == 0
+                assert len(st.get_namespace("committed")) == 50
+                assert st.verify() == []

@@ -1,0 +1,161 @@
+"""Provenance stamps: artifacts are self-describing and drift is visible."""
+
+import json
+
+import pytest
+
+from repro.perf.telemetry import write_bench_json
+from repro.store.provenance import (
+    config_hash,
+    provenance_record,
+    source_code_version,
+    stamp_payload,
+    verify_artifact,
+    verify_artifacts_dir,
+)
+
+pytestmark = pytest.mark.store
+
+
+def write_artifact(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+@pytest.fixture
+def stamped(tmp_path):
+    """A freshly stamped artifact on disk, plus its parsed payload."""
+    payload = stamp_payload({
+        "kind": "test_artifact",
+        "config": {"seed": 42, "samples": 10},
+        "result": [1, 2, 3],
+    })
+    path = str(tmp_path / "artifact.json")
+    write_artifact(path, payload)
+    return path, payload
+
+
+class TestStamp:
+    def test_stamp_contents(self, stamped):
+        _, payload = stamped
+        stamp = payload["provenance"]
+        assert stamp["format"] == "repro-provenance-v1"
+        assert stamp["code_version"] == source_code_version()
+        assert stamp["seed"] == 42  # lifted from the config block
+        assert stamp["config_hash"] == config_hash(payload["config"])
+        assert "rta_calls" in stamp["counters"]
+
+    def test_stamp_is_idempotent(self):
+        payload = stamp_payload({"config": {"seed": 1}})
+        original = payload["provenance"]
+        assert stamp_payload(payload)["provenance"] is original
+
+    def test_config_hash_is_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_source_code_version_is_stable(self):
+        assert source_code_version() == source_code_version()
+        assert source_code_version().startswith("src-")
+
+    def test_record_without_config(self):
+        record = provenance_record(seed=None, config=None)
+        assert record["config_hash"] == config_hash(None)
+
+    def test_write_bench_json_stamps_automatically(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_bench_json(path, {"config": {"seed": 3}, "result": 1})
+        assert verify_artifact(path)[0] == "ok"
+
+
+class TestVerify:
+    def test_fresh_stamp_is_ok(self, stamped):
+        path, _ = stamped
+        assert verify_artifact(path) == ("ok", [])
+
+    def test_tampered_config_is_a_mismatch(self, stamped):
+        path, payload = stamped
+        payload["config"]["samples"] = 99  # edit after stamping
+        write_artifact(path, payload)
+        status, problems = verify_artifact(path)
+        assert status == "mismatch"
+        assert any("config_hash" in p for p in problems)
+
+    def test_code_drift_is_reported(self, stamped):
+        path, payload = stamped
+        payload["provenance"]["code_version"] = "src-0000000000000000dead"
+        write_artifact(path, payload)
+        status, problems = verify_artifact(path)
+        assert status == "drift"
+        assert any("rerun" in p for p in problems)
+
+    def test_foreign_schema_version_is_a_mismatch(self, stamped):
+        path, payload = stamped
+        payload["provenance"]["payload_schema_version"] = 999
+        write_artifact(path, payload)
+        assert verify_artifact(path)[0] == "mismatch"
+
+    def test_unknown_stamp_format_is_a_mismatch(self, stamped):
+        path, payload = stamped
+        payload["provenance"] = {"format": "who-knows"}
+        write_artifact(path, payload)
+        assert verify_artifact(path)[0] == "mismatch"
+
+    def test_unstamped_and_unreadable_do_not_raise(self, tmp_path):
+        unstamped = tmp_path / "plain.json"
+        unstamped.write_text('{"just": "data"}')
+        garbage = tmp_path / "broken.json"
+        garbage.write_text("{not json")
+        assert verify_artifact(str(unstamped))[0] == "unstamped"
+        assert verify_artifact(str(garbage))[0] == "unreadable"
+
+    def test_directory_grouping(self, tmp_path):
+        write_artifact(
+            tmp_path / "good.json", stamp_payload({"config": {"seed": 1}})
+        )
+        bad = stamp_payload({"config": {"seed": 2}})
+        bad["config"]["seed"] = 3
+        write_artifact(tmp_path / "bad.json", bad)
+        (tmp_path / "notes.txt").write_text("ignored: not .json")
+        grouped = verify_artifacts_dir(str(tmp_path))
+        assert [name for name, _ in grouped["ok"]] == ["good.json"]
+        assert [name for name, _ in grouped["mismatch"]] == ["bad.json"]
+
+
+class TestBoundFiles:
+    """Sidecars bind sibling output files by checksum (experiments)."""
+
+    @pytest.fixture
+    def sidecar(self, tmp_path):
+        from repro.store.provenance import file_sha256
+
+        output = tmp_path / "e99.txt"
+        output.write_text("experiment output\n")
+        payload = stamp_payload({
+            "kind": "experiment_report",
+            "config": {
+                "seed": 0,
+                "files": {"e99.txt": file_sha256(str(output))},
+            },
+        })
+        path = str(tmp_path / "e99_provenance.json")
+        write_artifact(path, payload)
+        return path, output
+
+    def test_intact_files_are_ok(self, sidecar):
+        path, _ = sidecar
+        assert verify_artifact(path) == ("ok", [])
+
+    def test_edited_output_is_a_mismatch(self, sidecar):
+        path, output = sidecar
+        output.write_text("experiment output, doctored\n")
+        status, problems = verify_artifact(path)
+        assert status == "mismatch"
+        assert any("has changed" in p for p in problems)
+
+    def test_missing_output_is_a_mismatch(self, sidecar):
+        path, output = sidecar
+        output.unlink()
+        status, problems = verify_artifact(path)
+        assert status == "mismatch"
+        assert any("missing" in p for p in problems)

@@ -1,0 +1,93 @@
+"""TieredCache: promotion, write-through, restart warmth, counter mirroring."""
+
+import pytest
+
+from repro.perf.telemetry import COUNTERS
+from repro.store.backend import ResultStore
+from repro.store.tiered import TieredCache
+
+pytestmark = pytest.mark.store
+
+
+class TestTwoTierLookup:
+    def test_miss_put_hit(self, store):
+        cache = TieredCache(8, store)
+        assert cache.get("k") == (False, None)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == (True, {"v": 1})
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.store_hits == 0  # answered by the memory tier
+
+    def test_durable_hit_promotes_into_memory(self, store):
+        store.put("service", "k", {"v": 1})
+        cache = TieredCache(8, store)
+        assert cache.get("k") == (True, {"v": 1})
+        assert cache.store_hits == 1
+        assert len(cache.memory) == 1  # promoted
+        cache.get("k")
+        assert cache.store_hits == 1  # second hit came from memory
+
+    def test_restart_is_warm(self, store_path):
+        # "restart" = a brand-new TieredCache over the same store file,
+        # exactly what AdmissionService builds on process start
+        with ResultStore(store_path) as st:
+            TieredCache(8, st).put("k", [1, 2, 3])
+        with ResultStore(store_path) as st:
+            reborn = TieredCache(8, st)
+            assert reborn.get("k") == (True, [1, 2, 3])
+            assert reborn.store_hits == 1
+
+    def test_write_through_keeps_canonical_value(self, store):
+        store.put("service", "k", {"first": True})
+        cache = TieredCache(8, store)
+        cache.put("k", {"second": True})  # loses the insert-or-get race
+        # both tiers now serve the first writer's bytes
+        assert cache.memory.get("k") == (True, {"first": True})
+        assert store.get("service", "k") == (True, {"first": True})
+
+    def test_clear_drops_memory_only(self, store):
+        cache = TieredCache(8, store)
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache.memory) == 0
+        assert cache.get("k") == (True, 1)  # durable tier still answers
+        assert cache.store_hits == 1
+
+
+class TestCounterMirroring:
+    def test_each_outcome_counted_exactly_once(self, store):
+        cache = TieredCache(8, store)
+        store.put("service", "durable", 1)
+        before = COUNTERS.snapshot()
+        cache.get("absent")      # combined miss
+        cache.get("durable")     # store answers -> combined hit
+        cache.get("durable")     # memory answers -> combined hit
+        delta = COUNTERS.delta_since(before)
+        assert delta["svc_cache_hits"] == 2
+        assert delta["svc_cache_misses"] == 1
+
+    def test_memory_tier_does_not_double_count(self, store):
+        # the front LRU runs unmirrored; only TieredCache touches the
+        # svc_* counters, so one request is one counter event
+        cache = TieredCache(8, store)
+        assert cache.memory.mirror_counters is False
+
+
+class TestStats:
+    def test_stats_exposes_both_tiers(self, store):
+        cache = TieredCache(4, store)
+        cache.put("k", 1)
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        assert stats["tiers"]["memory"]["size"] == 1
+        assert stats["tiers"]["store"]["entries"] == 1
+        assert stats["tiers"]["store"]["hits"] == 0
+
+    def test_hit_rate(self, store):
+        cache = TieredCache(4, store)
+        assert cache.hit_rate == 0.0
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hit_rate == pytest.approx(0.5)
