@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""CI entry point for the bench-drift gate.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench check ...`` but
+runnable from a bare checkout without installing the package — what
+``.github/workflows/nightly.yml`` invokes.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.perf.bench_check import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["check", *sys.argv[1:]]))

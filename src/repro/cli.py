@@ -146,8 +146,18 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from contextlib import ExitStack
+
     from repro.analysis.acceptance import acceptance_sweep
     from repro.analysis.algorithms import standard_algorithms
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs import use_observability
+    from repro.obs.profile import (
+        SamplingProfiler,
+        profile_enabled_from_env,
+        profile_payload,
+    )
     from repro.perf.telemetry import COUNTERS, StageTimes, write_bench_json
 
     if args.u_max < args.u_min:
@@ -166,32 +176,53 @@ def cmd_sweep(args) -> int:
     stages = StageTimes()
     before = COUNTERS.snapshot()
     progress: dict = {}
-    with stages.stage("sweep"):
-        if args.store:
-            from repro.store.checkpoint import run_sweep
+    profiling = args.profile or profile_enabled_from_env()
+    trace_out = args.trace_out
+    obs_json = args.obs_json
+    if profiling:
+        trace_out = trace_out or "benchmarks/results/TRACE_sweep.jsonl"
+        obs_json = obs_json or "benchmarks/results/BENCH_obs.json"
+    profiler: Optional[SamplingProfiler] = None
+    hist_before = obs_metrics.snapshot()
+    with ExitStack() as stack:
+        if profiling or trace_out:
+            stack.enter_context(use_observability(True))
+        if profiling:
+            profiler = stack.enter_context(SamplingProfiler())
+        stack.enter_context(
+            obs_trace.span(
+                "cli.sweep",
+                samples=args.samples,
+                jobs=args.jobs,
+                u_points=len(u_grid),
+            )
+        )
+        with stages.stage("sweep"):
+            if args.store:
+                from repro.store.checkpoint import run_sweep
 
-            sweep = run_sweep(
-                algorithms,
-                gen,
-                processors=args.processors,
-                u_grid=u_grid,
-                samples=args.samples,
-                seed=args.seed,
-                jobs=args.jobs,
-                store=args.store,
-                resume=args.resume,
-                progress=progress,
-            )
-        else:
-            sweep = acceptance_sweep(
-                algorithms,
-                gen,
-                processors=args.processors,
-                u_grid=u_grid,
-                samples=args.samples,
-                seed=args.seed,
-                jobs=args.jobs,
-            )
+                sweep = run_sweep(
+                    algorithms,
+                    gen,
+                    processors=args.processors,
+                    u_grid=u_grid,
+                    samples=args.samples,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    store=args.store,
+                    resume=args.resume,
+                    progress=progress,
+                )
+            else:
+                sweep = acceptance_sweep(
+                    algorithms,
+                    gen,
+                    processors=args.processors,
+                    u_grid=u_grid,
+                    samples=args.samples,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                )
     title = (
         f"acceptance sweep: M={args.processors}, N={args.n}, "
         f"{args.periods} periods, samples={args.samples}, jobs={args.jobs}"
@@ -222,6 +253,29 @@ def cmd_sweep(args) -> int:
             },
         )
         print(f"perf telemetry written to {args.bench_json}")
+    if trace_out:
+        flushed = obs_trace.flush_jsonl(trace_out)
+        print(f"trace ({flushed} spans) written to {trace_out} — "
+              f"render with: python -m repro obs summarize {trace_out}")
+    if profiler is not None and obs_json:
+        payload = profile_payload(
+            profiler,
+            config={
+                "n": args.n,
+                "processors": args.processors,
+                "samples": args.samples,
+                "seed": args.seed,
+                "jobs": args.jobs,
+            },
+            extra={
+                "stage_seconds": stages.as_dict(),
+                "histograms": obs_metrics.delta_since(hist_before),
+            },
+        )
+        write_bench_json(obs_json, payload)
+        print(f"profile written to {obs_json}")
+        for line in profiler.top(5):
+            print(f"  {line}")
     return 0
 
 
@@ -253,6 +307,18 @@ def cmd_store(args) -> int:
     from repro.store.cli import main as store_main
 
     return store_main(args.store_args)
+
+
+def cmd_obs(args) -> int:
+    from repro.obs.cli import main as obs_main
+
+    return obs_main(args.obs_args)
+
+
+def cmd_bench(args) -> int:
+    from repro.perf.bench_check import main as bench_main
+
+    return bench_main(args.bench_args)
 
 
 def cmd_generate(args) -> int:
@@ -358,6 +424,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cells already journaled in --store; curves are "
         "bit-identical to an uninterrupted run",
     )
+    p_sweep.add_argument(
+        "--profile", action="store_true",
+        help="arm the observability layer: sampling profiler + span "
+        "trace + histograms (also via REPRO_PROFILE=1; see "
+        "docs/observability.md)",
+    )
+    p_sweep.add_argument(
+        "--trace-out", default=None,
+        help="flush the span trace to this JSONL file (default with "
+        "--profile: benchmarks/results/TRACE_sweep.jsonl)",
+    )
+    p_sweep.add_argument(
+        "--obs-json", default=None,
+        help="write the profiler/histogram artifact here (default with "
+        "--profile: benchmarks/results/BENCH_obs.json)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -400,6 +482,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="forwarded to repro.store (see python -m repro store --help)",
     )
     p_store.set_defaults(func=cmd_store)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="inspect observability artifacts (summarize span traces)",
+    )
+    p_obs.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to repro.obs (see python -m repro obs --help)",
+    )
+    p_obs.set_defaults(func=cmd_obs)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark artifact maintenance (drift check vs baselines)",
+    )
+    p_bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to repro.perf.bench_check "
+        "(see python -m repro bench --help)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",
@@ -451,6 +556,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.store.cli import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench_check import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -34,6 +34,7 @@ import numpy as np
 from repro._util.floats import EPS
 from repro._util.invariants import check_response_monotonicity, invariants_enabled
 from repro.core.task import Subtask
+from repro.obs import metrics as _obs_metrics
 from repro.perf.telemetry import COUNTERS
 
 __all__ = [
@@ -118,6 +119,8 @@ def response_time(
         for _ in range(_MAX_ITER):
             if r > bound:
                 COUNTERS.rta_iterations += iterations
+                if _obs_metrics.ENABLED:
+                    _obs_metrics.RTA_ITERATIONS.observe(iterations)
                 return None
             iterations += 1
             r_new = cost
@@ -125,6 +128,8 @@ def response_time(
                 r_new += ceil(r / t - EPS) * c
             if r_new <= r + EPS:
                 COUNTERS.rta_iterations += iterations
+                if _obs_metrics.ENABLED:
+                    _obs_metrics.RTA_ITERATIONS.observe(iterations)
                 return r_new if r_new <= bound else None  # repro-lint: disable=R1 (bound pre-inflated by EPS above)
             r = r_new
         raise RuntimeError("RTA fixed point failed to converge")
@@ -136,6 +141,8 @@ def response_time(
     for _ in range(_MAX_ITER):
         if r > bound:
             COUNTERS.rta_iterations += iterations
+            if _obs_metrics.ENABLED:
+                _obs_metrics.RTA_ITERATIONS.observe(iterations)
             return None
         # interference: ceil(r / T_j) * C_j, vectorized over the hp set.
         iterations += 1
@@ -143,6 +150,8 @@ def response_time(
         r_new = cost + float(np.dot(jobs, hp_costs))
         if r_new <= r + EPS:
             COUNTERS.rta_iterations += iterations
+            if _obs_metrics.ENABLED:
+                _obs_metrics.RTA_ITERATIONS.observe(iterations)
             return r_new if r_new <= bound else None  # repro-lint: disable=R1 (bound pre-inflated by EPS above)
         r = r_new
     raise RuntimeError("RTA fixed point failed to converge")

@@ -500,7 +500,7 @@ def _check_frozen_mutation(lf: LintedFile) -> Iterable[Diagnostic]:
 
 
 # --------------------------------------------------------------------------
-# R6 — swallowed exceptions in service/ and runner/
+# R6 — swallowed exceptions in service/, runner/ and obs/
 # --------------------------------------------------------------------------
 
 _BROAD_TYPES = {"Exception", "BaseException"}
@@ -548,7 +548,7 @@ def _handler_observes_exception(handler: ast.ExceptHandler) -> bool:
 @rule("R6", "swallowed-exception")
 def _check_swallowed_exception(lf: LintedFile) -> Iterable[Diagnostic]:
     """Bare/overbroad except that neither re-raises, logs, nor counts."""
-    if not _in_package(lf, "service", "runner"):
+    if not _in_package(lf, "service", "runner", "obs"):
         return
     for node in ast.walk(lf.tree):
         if not isinstance(node, ast.ExceptHandler):
@@ -672,6 +672,8 @@ _R8_EXEMPT_SUFFIXES = (
     "lint/cli.py",
     "store/cli.py",
     "store/bench_store.py",
+    "obs/cli.py",
+    "perf/bench_check.py",
 )
 
 

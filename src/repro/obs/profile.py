@@ -1,0 +1,175 @@
+"""Opt-in sampling profiler: per-kernel self-time with zero dependencies.
+
+A background thread samples the target thread's stack every *interval*
+seconds via ``sys._current_frames()`` and attributes each sample to the
+innermost frame that lives inside the ``repro`` package (so NumPy/sqlite
+time inside a kernel is charged to the kernel that called it — self-time
+in the "which of *our* functions is hot" sense).  Samples outside the
+package entirely land in the ``<other>`` bucket.
+
+Statistical, not exact: with the default 5 ms interval a full
+``bench_sweep`` run collects a few hundred samples per second at <1 %
+overhead, enough to rank kernels.  Never enabled implicitly — arm it
+with ``REPRO_PROFILE=1``, the sweep CLI's ``--profile``, or by using
+:class:`SamplingProfiler` directly.  The sampler thread does not survive
+``fork``, so pool workers are *not* sampled; their wall time shows up in
+the parent's ``runner`` frames and in the span trace instead.
+
+The aggregate feeds the ``BENCH_obs.json`` artifact through
+:func:`repro.perf.telemetry.write_bench_json`, so profiles carry the
+same provenance stamps as every other bench artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from types import FrameType
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SamplingProfiler",
+    "profile_enabled_from_env",
+    "profile_payload",
+]
+
+
+def profile_enabled_from_env() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for profiling (and tracing/metrics)."""
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() not in (
+        "", "0", "false", "no",
+    )
+
+
+def _package_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__)) + os.sep
+
+
+class SamplingProfiler:
+    """Samples one thread's stack; aggregates self-time per function.
+
+    Usable as a context manager::
+
+        with SamplingProfiler(interval=0.005) as prof:
+            run_sweep(...)
+        print(prof.self_seconds())
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        *,
+        max_samples: int = 1_000_000,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.samples: Dict[str, int] = {}
+        self.total_samples = 0
+        self.wall_seconds = 0.0
+        self._root = _package_root()
+        self._target: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started_at = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling the *calling* thread from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._target = threading.get_ident()
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> Dict[str, float]:
+        """Stop sampling; returns :meth:`self_seconds`."""
+        if self._thread is None:
+            raise RuntimeError("profiler is not running")
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.wall_seconds += time.perf_counter() - self._started_at
+        return self.self_seconds()
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            if self.total_samples >= self.max_samples:
+                return
+            frame = sys._current_frames().get(self._target or 0)
+            if frame is None:
+                continue
+            key = self._attribute(frame)
+            self.samples[key] = self.samples.get(key, 0) + 1
+            self.total_samples += 1
+
+    def _attribute(self, frame: FrameType) -> str:
+        """Innermost repro-package frame, as ``module:function``."""
+        cursor: Optional[FrameType] = frame
+        while cursor is not None:
+            filename = cursor.f_code.co_filename
+            if filename.startswith(self._root):
+                module = cursor.f_globals.get("__name__", "?")
+                return f"{module}:{cursor.f_code.co_name}"
+            cursor = cursor.f_back
+        return "<other>"
+
+    # -- reporting ---------------------------------------------------------
+
+    def self_seconds(self) -> Dict[str, float]:
+        """Estimated self-time per ``module:function``, largest first."""
+        ranked = sorted(self.samples.items(), key=lambda kv: -kv[1])
+        return {
+            key: round(count * self.interval, 6) for key, count in ranked
+        }
+
+    def top(self, n: int = 10) -> List[str]:
+        """Human-readable top-*n* lines (``seconds  samples  where``)."""
+        out: List[str] = []
+        for key, seconds in list(self.self_seconds().items())[:n]:
+            out.append(f"{seconds:9.3f}s  {self.samples[key]:6d}  {key}")
+        return out
+
+
+def profile_payload(
+    profiler: SamplingProfiler,
+    *,
+    config: Optional[Dict[str, object]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the ``BENCH_obs.json`` payload for a finished profiler.
+
+    Pass the result to :func:`repro.perf.telemetry.write_bench_json` so
+    the artifact gets the standard provenance stamp.
+    """
+    payload: Dict[str, object] = {
+        "kind": "obs_profile",
+        "config": dict(config or {}),
+        "interval_seconds": profiler.interval,
+        "wall_seconds": round(profiler.wall_seconds, 4),
+        "samples_total": profiler.total_samples,
+        "self_seconds": profiler.self_seconds(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload

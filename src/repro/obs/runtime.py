@@ -1,0 +1,82 @@
+"""Fork-pool glue: carry observability state across worker boundaries.
+
+The parallel runner (:mod:`repro.runner.pool`) already ships telemetry
+counter deltas from workers back to the parent.  This module extends
+that protocol to the observability layer with four hooks the pool calls:
+
+* :func:`pool_context` — captured in the parent *before* the pool forks;
+  records the enabled switches and the ambient trace position so worker
+  spans join the parent's trace.  Returns ``None`` when observability is
+  entirely off, which keeps the disabled pool path allocation-free.
+* :func:`worker_begin` — first thing in a worker chunk: re-arms the
+  switches (forked children inherit them, but an explicit set makes the
+  protocol self-contained), discards span records inherited from the
+  parent's buffer by the fork (the parent still owns them — replaying
+  them from the worker would duplicate), adopts the shipped trace
+  context, and snapshots histograms for the delta.
+* :func:`worker_finish` — drains the spans this chunk produced and the
+  histogram delta it accumulated into one picklable payload.
+* :func:`merge_worker` — parent side: folds a worker payload back into
+  the global span buffer and histogram registry.  Called only after
+  every chunk succeeded, mirroring the counter-merge rule, so a serial
+  fallback rerun cannot double-count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics, trace
+
+__all__ = ["pool_context", "worker_begin", "worker_finish", "merge_worker"]
+
+
+def pool_context() -> Optional[Dict[str, Any]]:
+    """Observability state to inherit across a fork (None = all off)."""
+    if not (trace.ENABLED or metrics.ENABLED):
+        return None
+    return {
+        "tracing": trace.ENABLED,
+        "metrics": metrics.ENABLED,
+        "trace_context": trace.current_context(),
+    }
+
+
+def worker_begin(context: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Arm observability inside a worker chunk; returns per-chunk state."""
+    if context is None:
+        return None
+    trace.set_tracing(bool(context["tracing"]))
+    metrics.set_metrics(bool(context["metrics"]))
+    if trace.ENABLED:
+        trace.drain()  # discard span records inherited via fork
+        shipped = context.get("trace_context")
+        if shipped is not None:
+            trace.adopt((shipped[0], shipped[1]))
+    return {
+        "histograms": metrics.snapshot() if metrics.ENABLED else None,
+    }
+
+
+def worker_finish(state: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Collect this chunk's spans + histogram delta for the parent."""
+    if state is None:
+        return None
+    payload: Dict[str, Any] = {}
+    if trace.ENABLED:
+        payload["spans"] = trace.drain()
+    if state["histograms"] is not None:
+        payload["histograms"] = metrics.delta_since(state["histograms"])
+    return payload
+
+
+def merge_worker(payload: Optional[Dict[str, Any]]) -> None:
+    """Fold one worker payload into the parent's buffers (exact merge)."""
+    if not payload:
+        return
+    spans = payload.get("spans")
+    if spans:
+        trace.extend(spans)
+    histograms = payload.get("histograms")
+    if histograms:
+        metrics.merge(histograms)

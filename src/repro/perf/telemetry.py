@@ -14,6 +14,7 @@ from these snapshots plus :class:`StageTimes` wall-clock measurements.
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -134,6 +135,9 @@ def write_bench_json(path: str, payload: Dict[str, object]) -> None:
     """
     from repro.store.provenance import stamp_payload
 
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(stamp_payload(payload), fh, indent=2, sort_keys=False)
         fh.write("\n")

@@ -9,7 +9,9 @@
   :mod:`repro.runner` pool;
 * ``GET /healthz``    — liveness + drain state;
 * ``GET /metrics``    — request counts, latency percentiles, cache stats
-  and the :mod:`repro.perf.telemetry` counters, as JSON.
+  and the :mod:`repro.perf.telemetry` counters, as JSON;
+  ``GET /metrics?format=prometheus`` serves the same counters plus every
+  :mod:`repro.obs.metrics` histogram in the Prometheus text exposition.
 
 Production behaviours, in the order a request meets them:
 
@@ -42,8 +44,12 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
+from urllib.parse import unquote
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import HTTP_LATENCY, render_prometheus
 from repro.perf.telemetry import COUNTERS
 from repro.service.handlers import AdmissionService, ServiceConfig
 from repro.service.validation import RequestValidationError
@@ -51,6 +57,28 @@ from repro.service.validation import RequestValidationError
 __all__ = ["AdmissionServer", "run"]
 
 _JSON = {"Content-Type": "application/json"}
+_PROM = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+#: A response body: JSON-serializable dict, or pre-rendered text
+#: (the Prometheus exposition).
+_Body = Union[Dict[str, object], str]
+
+
+def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    """Split a request target into ``(path, query_params)``.
+
+    Minimal by design: ``&``-separated ``key=value`` pairs, percent
+    decoding, last key wins.  Routing always happens on the bare path.
+    """
+    path, sep, query = target.partition("?")
+    params: Dict[str, str] = {}
+    if sep:
+        for pair in query.split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            params[unquote(key)] = unquote(value)
+    return path, params
 
 
 class _HTTPError(Exception):
@@ -69,6 +97,7 @@ class _Request:
     version: str
     headers: Dict[str, str]
     body: bytes
+    params: Dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:
@@ -228,13 +257,14 @@ class AdmissionServer:
                 413, f"body too large: {length} > {self.config.max_body_bytes}"
             )
         body = await reader.readexactly(length) if length else b""
-        return _Request(method, path, version, headers, body)
+        path, params = _split_target(path)
+        return _Request(method, path, version, headers, body, params)
 
     @staticmethod
     async def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        body: Dict[str, object],
+        body: _Body,
         *,
         keep_alive: bool,
         extra_headers: Optional[Dict[str, str]] = None,
@@ -245,8 +275,12 @@ class AdmissionServer:
             429: "Too Many Requests", 500: "Internal Server Error",
             503: "Service Unavailable",
         }.get(status, "Unknown")
-        payload = json.dumps(body).encode("utf-8") + b"\n"
-        headers = dict(_JSON)
+        if isinstance(body, str):  # pre-rendered text (Prometheus)
+            payload = body.encode("utf-8")
+            headers = dict(_PROM)
+        else:
+            payload = json.dumps(body).encode("utf-8") + b"\n"
+            headers = dict(_JSON)
         headers["Content-Length"] = str(len(payload))
         headers["Connection"] = "keep-alive" if keep_alive else "close"
         if extra_headers:
@@ -296,38 +330,45 @@ class AdmissionServer:
 
     async def _handle_request(
         self, request: _Request
-    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+    ) -> Tuple[int, _Body, Optional[Dict[str, str]]]:
         start = time.perf_counter()
         COUNTERS.svc_requests += 1
         endpoint = f"{request.method} {request.path}"
+        with obs_trace.span("svc.request", endpoint=endpoint) as sp:
+            status, body, extra = await self._shed_or_dispatch(request)
+            sp.set("status", status)
+        elapsed = time.perf_counter() - start
+        self.stats.record(endpoint, status, elapsed)
+        if obs_metrics.ENABLED:
+            HTTP_LATENCY.observe(elapsed)
+        return status, body, extra
 
+    async def _shed_or_dispatch(
+        self, request: _Request
+    ) -> Tuple[int, _Body, Optional[Dict[str, str]]]:
         # Load shedding happens before any work is queued.
         if request.method == "POST":
             if self._draining:
                 COUNTERS.svc_backpressure += 1
-                status, body, extra = 503, {"error": "draining"}, None
-                self.stats.record(endpoint, status, time.perf_counter() - start)
-                return status, body, extra
+                return 503, {"error": "draining"}, None
             if self._inflight >= self.config.queue_limit:
                 COUNTERS.svc_backpressure += 1
-                status = 429
-                body = {
+                body: Dict[str, object] = {
                     "error": "backpressure",
                     "inflight": self._inflight,
                     "queue_limit": self.config.queue_limit,
                 }
-                self.stats.record(endpoint, status, time.perf_counter() - start)
-                return status, body, {"Retry-After": "1"}
+                return 429, body, {"Retry-After": "1"}
 
         self._inflight += 1
         self._idle.clear()
         try:
-            status, body, extra = await self._dispatch(request)
+            return await self._dispatch(request)
         except RequestValidationError as exc:
             COUNTERS.svc_validation_errors += 1
-            status, body, extra = 400, exc.to_payload(), None
+            return 400, exc.to_payload(), None
         except Exception as exc:  # noqa: BLE001 — the server must not die
-            status, body, extra = 500, {
+            return 500, {
                 "error": "internal",
                 "message": f"{type(exc).__name__}: {exc}",
             }, None
@@ -335,16 +376,16 @@ class AdmissionServer:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
-        self.stats.record(endpoint, status, time.perf_counter() - start)
-        return status, body, extra
 
     async def _dispatch(
         self, request: _Request
-    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+    ) -> Tuple[int, _Body, Optional[Dict[str, str]]]:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             return 200, self._healthz_body(), None
         if route == ("GET", "/metrics"):
+            if request.params.get("format") == "prometheus":
+                return 200, self.metrics_prometheus(), None
             return 200, self.metrics_body(), None
         if route == ("POST", "/v1/admit"):
             return await self._handle_admit(request)
@@ -372,11 +413,21 @@ class AdmissionServer:
         Returns ``(result, degraded)``.  On deadline the (cheap, loop-side)
         *fallback* supplies the answer; the orphaned worker thread finishes
         in the background and its result is discarded.
+
+        ``run_in_executor`` does not propagate :mod:`contextvars`, so the
+        ambient trace context is captured here and re-entered inside the
+        worker thread — analysis spans stay children of ``svc.request``.
         """
+        ctx = obs_trace.current_context()
+
+        def traced() -> object:
+            with obs_trace.activate(ctx):
+                return fn()
+
         loop = asyncio.get_running_loop()
         try:
             result = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, fn),
+                loop.run_in_executor(self._executor, traced),
                 timeout=self.config.analysis_timeout,
             )
             return result, False
@@ -420,12 +471,16 @@ class AdmissionServer:
         deadline = self.config.analysis_timeout * max(1, pending)
         loop = asyncio.get_running_loop()
         degraded = False
+        ctx = obs_trace.current_context()
+
+        def traced_batch() -> None:
+            with obs_trace.activate(ctx):
+                self.service.compute_batch(plan)
+
         if pending:
             try:
                 await asyncio.wait_for(
-                    loop.run_in_executor(
-                        self._executor, lambda: self.service.compute_batch(plan)
-                    ),
+                    loop.run_in_executor(self._executor, traced_batch),
                     timeout=deadline,
                 )
             except asyncio.TimeoutError:
@@ -465,6 +520,35 @@ class AdmissionServer:
             "validation_errors_total": COUNTERS.svc_validation_errors,
             "counters": COUNTERS.summary(),
         }
+
+    def metrics_prometheus(self) -> str:
+        """``/metrics?format=prometheus``: the text exposition (0.0.4).
+
+        Histograms come from the process-wide :mod:`repro.obs.metrics`
+        registry (they fill only while metrics are armed); counters and
+        per-endpoint/per-status request series are always populated.
+        """
+        return render_prometheus(
+            counters=COUNTERS.snapshot(),
+            gauges={
+                "inflight": float(self._inflight),
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+                "draining": 1.0 if self._draining else 0.0,
+            },
+            labeled_counters={
+                "http_requests": [
+                    ({"endpoint": endpoint}, float(count))
+                    for endpoint, count in
+                    sorted(self.stats.by_endpoint.items())
+                ],
+                "http_responses": [
+                    ({"status": str(code)}, float(count))
+                    for code, count in sorted(self.stats.by_status.items())
+                ],
+            },
+        )
 
 
 def run(config: Optional[ServiceConfig] = None) -> int:

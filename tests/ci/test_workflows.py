@@ -1,0 +1,123 @@
+"""The CI pipeline definitions must match the documented invocations.
+
+Tier-1, lint and mypy are documented in CONTRIBUTING.md and asserted
+here as exact command strings, so the workflows, the docs and the local
+developer commands cannot drift apart silently.  Assertions are
+text-based (a YAML parser is only used for structure when available) so
+this test runs in environments without PyYAML.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.ci
+
+ROOT = Path(__file__).resolve().parents[2]
+CI = ROOT / ".github" / "workflows" / "ci.yml"
+NIGHTLY = ROOT / ".github" / "workflows" / "nightly.yml"
+
+#: The documented tier-1 / gate commands (ROADMAP.md, CONTRIBUTING.md).
+TIER1_CMD = "PYTHONPATH=src python -m pytest -x -q"
+LINT_CMD = "PYTHONPATH=src python -m repro lint"
+MYPY_CMD = "mypy --config-file pyproject.toml"
+PERF_SMOKE_CMD = "PYTHONPATH=src python -m pytest -q -m perf_smoke"
+DRIFT_CMD = "python scripts/check_bench_drift.py"
+
+
+def test_workflow_files_exist():
+    assert CI.is_file(), "missing .github/workflows/ci.yml"
+    assert NIGHTLY.is_file(), "missing .github/workflows/nightly.yml"
+
+
+def test_ci_runs_the_documented_tier1_commands():
+    text = CI.read_text()
+    assert TIER1_CMD in text
+    assert LINT_CMD in text
+    assert MYPY_CMD in text
+
+
+def test_ci_matrix_covers_supported_pythons_with_pip_cache():
+    text = CI.read_text()
+    for version in ('"3.10"', '"3.11"', '"3.12"'):
+        assert version in text, f"CI matrix missing {version}"
+    assert "cache: pip" in text
+    assert "actions/checkout@v4" in text
+    assert "actions/setup-python@v5" in text
+    assert "pip install -e .[test]" in text
+
+
+def test_ci_triggers_on_push_and_pull_request():
+    text = CI.read_text()
+    assert "pull_request" in text
+    assert "push" in text
+
+
+def test_nightly_regenerates_benchmarks_with_baseline_parameters():
+    text = NIGHTLY.read_text()
+    assert PERF_SMOKE_CMD in text
+    # committed BENCH_sweep.json config: samples=100, jobs=4, repeats=3
+    assert ("python -m repro.perf.bench_sweep "
+            "--samples 100 --jobs 4 --repeats 3 --seed 0") in text
+    # committed BENCH_store.json uses the module defaults
+    assert "python -m repro.store.bench_store" in text
+    assert "python -m repro.service.loadgen" in text
+
+
+def test_nightly_gates_on_bench_drift_and_uploads_artifacts():
+    text = NIGHTLY.read_text()
+    assert DRIFT_CMD in text
+    assert "--baseline benchmarks/results" in text
+    assert "python -m repro store verify --artifacts benchmarks/results" in text
+    assert "actions/upload-artifact@v4" in text
+    assert "workflow_dispatch" in text
+    assert "schedule" in text
+
+
+def test_nightly_exercises_the_observability_layer():
+    text = NIGHTLY.read_text()
+    assert "python -m repro sweep" in text and "--profile" in text
+    assert "python -m repro obs summarize" in text
+
+
+def test_nightly_sweep_params_match_committed_sweep_config():
+    # The regeneration command must keep matching the committed artifact's
+    # recorded config, else the drift gate compares apples to oranges.
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_sweep.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_sweep.json")
+    config = json.loads(artifact.read_text())["config"]
+    text = NIGHTLY.read_text()
+    assert f"--samples {config['samples']}" in text
+    assert f"--jobs {config['jobs']}" in text
+    assert f"--repeats {config['repeats']}" in text
+    assert f"--seed {config['seed']}" in text
+
+
+def test_workflows_parse_as_yaml_when_parser_available():
+    yaml = pytest.importorskip("yaml")
+    for path in (CI, NIGHTLY):
+        doc = yaml.safe_load(path.read_text())
+        assert isinstance(doc, dict)
+        assert "jobs" in doc
+        for job in doc["jobs"].values():
+            assert job.get("runs-on") == "ubuntu-latest"
+            assert isinstance(job.get("steps"), list)
+
+
+def test_contributing_documents_the_same_commands():
+    contributing = ROOT / "CONTRIBUTING.md"
+    assert contributing.is_file(), "missing CONTRIBUTING.md"
+    text = contributing.read_text()
+    for cmd in (TIER1_CMD, LINT_CMD, MYPY_CMD):
+        assert cmd in text, f"CONTRIBUTING.md must document: {cmd}"
+
+
+def test_scripts_wrapper_is_what_nightly_invokes():
+    script = ROOT / "scripts" / "check_bench_drift.py"
+    assert script.is_file()
+    assert os.access(script, os.R_OK)
+    assert DRIFT_CMD in NIGHTLY.read_text()

@@ -1,0 +1,10 @@
+"""Fixture: a file whose path ends in ``obs/cli.py`` is R8-exempt.
+
+The real ``repro/obs/cli.py`` prints its summaries; this mirror asserts
+the exemption stays in :data:`repro.lint.rules._R8_EXEMPT_SUFFIXES`.
+"""
+
+
+def main(summary):
+    print(summary)
+    return 0

@@ -1,0 +1,25 @@
+"""R6 fixture: swallowed exceptions (obs-scoped rule)."""
+
+
+def flush(buffer, log):
+    try:
+        buffer.flush()
+    except Exception:  # expect: R6
+        pass
+    try:
+        buffer.flush()
+    except:  # expect: R6  # noqa: E722
+        pass
+    try:
+        buffer.flush()
+    except Exception:  # repro-lint: disable=R6 -- fixture
+        pass
+    try:
+        buffer.flush()
+    except Exception as exc:
+        log.warning("flush failed: %s", exc)
+    try:
+        buffer.flush()
+    except OSError:
+        # Narrow handlers are fine even when silent.
+        pass

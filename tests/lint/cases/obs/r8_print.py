@@ -1,0 +1,7 @@
+"""R8 fixture: ``print()`` in obs library code (not a CLI surface)."""
+
+
+def report_span(record):
+    print(record)  # expect: R8
+    print(record)  # repro-lint: disable=R8 -- fixture
+    return record

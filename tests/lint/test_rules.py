@@ -46,14 +46,22 @@ def _found(target: Path, code: str):
         ("r4", "R4"),
         ("r5_frozen.py", "R5"),
         ("runner/r6_swallow.py", "R6"),
+        ("obs/r6_swallow.py", "R6"),
         ("r7_api_drift.py", "R7"),
         ("r7_suppressed.py", "R7"),
         ("r8_print.py", "R8"),
+        ("obs/r8_print.py", "R8"),
     ],
 )
 def test_fixture_diagnostics_match_expect_tags(fixture, code):
     target = CASES / fixture
     assert _found(target, code) == _expected(target)
+
+
+def test_obs_cli_is_r8_exempt():
+    # The obs CLI prints its summaries by design; the exemption is on the
+    # path suffix, so this mirror file must produce no R8 diagnostics.
+    assert _found(CASES / "obs" / "cli.py", "R8") == set()
 
 
 def test_r7_suppressed_fixture_really_has_drift():

@@ -1,0 +1,129 @@
+"""Histograms: bucket edges, snapshot/delta/merge exactness, registry."""
+
+import pytest
+
+from repro.obs import metrics
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _zeroed_registry():
+    metrics.reset()
+    yield
+    metrics.reset()
+
+
+def _fresh(name, bounds=(1.0, 2.0, 4.0)):
+    h = metrics.histogram(name, bounds)
+    h.zero()
+    return h
+
+
+def test_observe_is_noop_when_disabled():
+    h = _fresh("t_disabled")
+    with metrics.use_metrics(False):
+        h.observe(1.5)
+    assert h.count == 0
+    assert h.total_sum == 0.0
+
+
+def test_bucket_edges_use_le_semantics():
+    h = _fresh("t_edges")
+    with metrics.use_metrics(True):
+        h.observe(0.5)   # <= 1.0
+        h.observe(1.0)   # == bound lands in that bucket (Prometheus le)
+        h.observe(1.001)  # next bucket
+        h.observe(4.0)
+        h.observe(99.0)  # overflow bin
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.cumulative_counts() == [2, 3, 4, 5]
+
+
+def test_bounds_must_be_strictly_increasing():
+    with pytest.raises(ValueError):
+        metrics.Histogram("bad", (1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        metrics.Histogram("bad", (2.0, 1.0))
+    with pytest.raises(ValueError):
+        metrics.Histogram("bad", ())
+
+
+def test_registry_get_or_create_guards_bounds():
+    h = _fresh("t_registry", (1.0, 2.0))
+    assert metrics.histogram("t_registry") is h
+    assert metrics.histogram("t_registry", (1.0, 2.0)) is h
+    with pytest.raises(ValueError, match="different"):
+        metrics.histogram("t_registry", (1.0, 3.0))
+    with pytest.raises(ValueError, match="not registered"):
+        metrics.histogram("t_never_registered")
+
+
+def test_delta_since_reports_only_changed_histograms():
+    h = _fresh("t_delta")
+    _fresh("t_untouched")
+    before = metrics.snapshot()
+    with metrics.use_metrics(True):
+        h.observe(1.5)
+        h.observe(3.0)
+    delta = metrics.delta_since(before)
+    assert set(delta) == {"t_delta"}
+    assert delta["t_delta"]["counts"] == [0, 1, 1, 0]
+    assert delta["t_delta"]["sum"] == 4.5
+
+
+def test_merge_is_exact_and_creates_missing():
+    h = _fresh("t_merge")
+    with metrics.use_metrics(True):
+        h.observe(0.5)
+    metrics.merge({
+        "t_merge": {"bounds": [1.0, 2.0, 4.0], "counts": [1, 2, 0, 3],
+                    "sum": 20.0},
+        "t_from_worker": {"bounds": [10.0], "counts": [4, 0], "sum": 8.0},
+    })
+    assert h.counts == [2, 2, 0, 3]
+    assert h.total_sum == 20.5
+    created = metrics.histogram("t_from_worker")
+    assert created.bounds == (10.0,)
+    assert created.counts == [4, 0]
+
+
+def test_merge_rejects_mismatched_bounds():
+    _fresh("t_mismatch", (1.0, 2.0))
+    with pytest.raises(ValueError, match="bounds differ"):
+        metrics.merge({
+            "t_mismatch": {"bounds": [5.0], "counts": [0, 0], "sum": 0.0}
+        })
+
+
+def test_split_then_merge_equals_single_stream():
+    # The fork-pool invariant in miniature: two workers' deltas merged
+    # into a parent equal one serial stream, bit for bit (integer values).
+    serial = _fresh("t_serial")
+    sharded = _fresh("t_sharded")
+    observations = [1, 1, 2, 3, 5, 8, 13]
+    with metrics.use_metrics(True):
+        for value in observations:
+            serial.observe(value)
+        before = metrics.snapshot()
+        for value in observations[:3]:
+            sharded.observe(value)
+        first = metrics.delta_since(before)
+        sharded.zero()
+        for value in observations[3:]:
+            sharded.observe(value)
+        second = metrics.delta_since(before)
+        sharded.zero()
+        metrics.merge(first)
+        metrics.merge(second)
+    assert sharded.counts == serial.counts
+    assert sharded.total_sum == serial.total_sum
+
+
+def test_standing_histograms_are_registered():
+    names = set(metrics.all_histograms())
+    assert {
+        "rta_iterations", "admit_latency_seconds", "http_request_seconds",
+        "store_get_seconds", "store_put_seconds",
+    } <= names

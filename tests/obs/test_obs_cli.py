@@ -1,0 +1,106 @@
+"""``python -m repro obs summarize``: aggregation, tree, exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.cli import (
+    main,
+    pick_trace,
+    render_tree,
+    stage_breakdown,
+    summarize_payload,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    trace.drain()
+    with trace.use_tracing(True):
+        with trace.span("cli.sweep", jobs=2):
+            with trace.span("runner.chunk", chunk=0):
+                with trace.span("sweep.cell", level=0):
+                    pass
+            with trace.span("runner.chunk", chunk=1):
+                pass
+    path = str(tmp_path / "trace.jsonl")
+    trace.flush_jsonl(path)
+    return path
+
+
+def test_stage_breakdown_self_time_excludes_children(trace_file):
+    spans = trace.load_jsonl(trace_file)
+    rows = {row["name"]: row for row in stage_breakdown(spans)}
+    assert rows["runner.chunk"]["count"] == 2
+    assert rows["sweep.cell"]["count"] == 1
+    # self <= total always; the wrapper's self-time excludes its children
+    for row in rows.values():
+        assert row["self_s"] <= row["total_s"] + 1e-12
+        assert row["max_s"] <= row["total_s"] + 1e-12
+
+
+def test_pick_trace_selects_largest_and_validates_id(trace_file):
+    spans = trace.load_jsonl(trace_file)
+    selected = pick_trace(spans)
+    assert len(selected) == len(spans)  # single trace in the file
+    with pytest.raises(ValueError, match="not in file"):
+        pick_trace(spans, "tdeadbeef-1")
+
+
+def test_render_tree_nests_children(trace_file):
+    spans = trace.load_jsonl(trace_file)
+    lines = render_tree(pick_trace(spans))
+    assert len(lines) == 4
+    assert lines[0].startswith("cli.sweep")
+    assert lines[1].startswith("  runner.chunk")
+    assert lines[2].startswith("    sweep.cell")
+
+
+def test_orphan_spans_render_as_roots():
+    spans = [
+        {"trace": "t1", "span": "s2", "parent": "s-evicted",
+         "name": "orphan", "pid": 1, "t0": 0.0, "dur": 0.1},
+    ]
+    lines = render_tree(spans)
+    assert len(lines) == 1 and lines[0].startswith("orphan")
+
+
+def test_cli_text_and_json_formats(trace_file, capsys):
+    assert main(["summarize", trace_file, "--top", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "4 spans" in text
+    assert "cli.sweep" in text and "slowest spans:" in text
+
+    assert main(["summarize", trace_file, "--format", "json",
+                 "--no-tree"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spans_total"] == 4
+    assert "tree" not in payload
+    assert len(payload["slowest"]) <= 10
+
+
+def test_cli_error_paths(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["summarize", missing]) == 2
+    assert "error:" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["summarize", str(bad)]) == 2
+
+    ok = tmp_path / "ok.jsonl"
+    ok.write_text(json.dumps(
+        {"trace": "t1", "span": "s1", "parent": None, "name": "a",
+         "pid": 1, "t0": 0.0, "dur": 0.1}
+    ) + "\n")
+    assert main(["summarize", str(ok), "--trace", "t-missing"]) == 2
+
+
+def test_module_entrypoint_forwards(trace_file):
+    # the `python -m repro obs …` path (leading-token forwarding in main)
+    from repro.cli import main as repro_main
+
+    assert repro_main(["obs", "summarize", trace_file, "--no-tree"]) == 0

@@ -1,0 +1,128 @@
+"""Prometheus text exposition: parse it back and check the invariants."""
+
+import re
+
+import pytest
+
+from repro.obs import metrics
+
+pytestmark = pytest.mark.obs
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def parse_exposition(text):
+    """Parse the 0.0.4 text format into samples + per-family types.
+
+    Returns ``(samples, types)`` where samples is a list of
+    ``(name, labels_dict, value_str)`` and types maps family → TYPE.
+    Raises AssertionError on any line that is neither a comment nor a
+    well-formed sample — the test's definition of "valid exposition".
+    """
+    samples = []
+    types = {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = dict(
+            (m.group("key"), m.group("value"))
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        )
+        value = match.group("value")
+        assert value == "+Inf" or float(value) is not None
+        samples.append((match.group("name"), labels, value))
+    return samples, types
+
+
+@pytest.fixture(autouse=True)
+def _zeroed_registry():
+    metrics.reset()
+    yield
+    metrics.reset()
+
+
+def _series(samples, name):
+    return [(labels, value) for n, labels, value in samples if n == name]
+
+
+def test_histogram_family_is_cumulative_and_consistent():
+    h = metrics.histogram("prom_demo_seconds", (0.1, 0.5, 1.0))
+    h.zero()
+    with metrics.use_metrics(True):
+        for value in (0.05, 0.3, 0.3, 0.7, 2.0):
+            h.observe(value)
+    samples, types = parse_exposition(metrics.render_prometheus())
+    assert types["repro_prom_demo_seconds"] == "histogram"
+    buckets = _series(samples, "repro_prom_demo_seconds_bucket")
+    les = [labels["le"] for labels, _ in buckets]
+    assert les == ["0.1", "0.5", "1", "+Inf"]
+    counts = [int(value) for _, value in buckets]
+    assert counts == sorted(counts), "bucket counts must be monotonic"
+    assert counts == [1, 3, 4, 5]
+    (_, count_value), = _series(samples, "repro_prom_demo_seconds_count")
+    assert int(count_value) == 5 == counts[-1]
+    (_, sum_value), = _series(samples, "repro_prom_demo_seconds_sum")
+    assert float(sum_value) == pytest.approx(3.35)
+
+
+def test_counters_become_one_labeled_family():
+    samples, types = parse_exposition(
+        metrics.render_prometheus(
+            counters={"rta_calls": 42, "svc_requests": 7}
+        )
+    )
+    assert types["repro_events_total"] == "counter"
+    events = {
+        labels["event"]: int(value)
+        for labels, value in _series(samples, "repro_events_total")
+    }
+    assert events == {"rta_calls": 42, "svc_requests": 7}
+
+
+def test_gauges_and_labeled_counters():
+    samples, types = parse_exposition(
+        metrics.render_prometheus(
+            gauges={"inflight": 3.0, "uptime_seconds": 12.5},
+            labeled_counters={
+                "http_requests": [
+                    ({"endpoint": "GET /metrics"}, 2.0),
+                    ({"endpoint": "POST /v1/admit"}, 5.0),
+                ],
+            },
+        )
+    )
+    assert types["repro_inflight"] == "gauge"
+    (_, inflight), = _series(samples, "repro_inflight")
+    assert int(inflight) == 3
+    requests = _series(samples, "repro_http_requests")
+    assert ({"endpoint": "GET /metrics"}, "2") in requests
+    assert ({"endpoint": "POST /v1/admit"}, "5") in requests
+
+
+def test_label_values_are_escaped():
+    text = metrics.render_prometheus(
+        labeled_counters={
+            "weird": [({"k": 'a"b\\c\nd'}, 1.0)],
+        }
+    )
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    # and the physical line must not be broken by the newline in the value
+    sample_lines = [
+        line for line in text.splitlines() if line.startswith("repro_weird")
+    ]
+    assert len(sample_lines) == 1

@@ -1,0 +1,141 @@
+"""Span tracing: nesting, ids, ring buffer, JSONL round-trip."""
+
+import os
+
+import pytest
+
+from repro.obs import trace
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_buffer():
+    trace.drain()
+    yield
+    trace.drain()
+
+
+def test_disabled_span_records_nothing():
+    with trace.use_tracing(False):
+        with trace.span("rta.probe", tid=3):
+            pass
+    assert trace.buffered_count() == 0
+
+
+def test_span_records_name_pid_duration_attrs():
+    with trace.use_tracing(True):
+        with trace.span("svc.request", endpoint="GET /metrics") as sp:
+            sp.set("status", 200)
+    (record,) = trace.drain()
+    assert record["name"] == "svc.request"
+    assert record["pid"] == os.getpid()
+    assert record["dur"] >= 0.0
+    assert record["attrs"] == {"endpoint": "GET /metrics", "status": 200}
+
+
+def test_nested_spans_share_trace_and_link_parents():
+    with trace.use_tracing(True):
+        with trace.span("cli.sweep"):
+            with trace.span("runner.chunk"):
+                with trace.span("sweep.cell"):
+                    pass
+    cell, chunk, sweep = trace.drain()  # innermost exits first
+    assert sweep["parent"] is None
+    assert chunk["parent"] == sweep["span"]
+    assert cell["parent"] == chunk["span"]
+    assert sweep["trace"] == chunk["trace"] == cell["trace"]
+    assert len({sweep["span"], chunk["span"], cell["span"]}) == 3
+
+
+def test_sibling_spans_get_fresh_trace_ids():
+    with trace.use_tracing(True):
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+    first, second = trace.drain()
+    assert first["trace"] != second["trace"]
+
+
+def test_exception_is_recorded_and_reraised():
+    with trace.use_tracing(True):
+        with pytest.raises(ValueError):
+            with trace.span("svc.compute_admit"):
+                raise ValueError("boom")
+    (record,) = trace.drain()
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_ring_buffer_drops_oldest():
+    old = trace.set_buffer_limit(4)
+    try:
+        with trace.use_tracing(True):
+            for i in range(10):
+                with trace.span("s", i=i):
+                    pass
+        spans = trace.drain()
+        assert [s["attrs"]["i"] for s in spans] == [6, 7, 8, 9]
+    finally:
+        trace.set_buffer_limit(old)
+
+
+def test_activate_adopts_shipped_context():
+    with trace.use_tracing(True):
+        with trace.span("parent"):
+            ctx = trace.current_context()
+        with trace.activate(ctx):
+            with trace.span("child"):
+                pass
+    parent, child = trace.drain()
+    assert child["trace"] == parent["trace"]
+    assert child["parent"] == parent["span"]
+
+
+def test_activate_none_is_noop():
+    with trace.use_tracing(True):
+        with trace.activate(None):
+            assert trace.current_context() is None
+
+
+def test_current_context_none_when_disabled():
+    with trace.use_tracing(False):
+        assert trace.current_context() is None
+
+
+def test_flush_and_load_jsonl_roundtrip(tmp_path):
+    with trace.use_tracing(True):
+        with trace.span("outer", k="v"):
+            with trace.span("inner"):
+                pass
+    path = str(tmp_path / "sub" / "trace.jsonl")
+    written = trace.flush_jsonl(path)  # parent dir is created
+    assert written == 2
+    assert trace.buffered_count() == 0
+    loaded = trace.load_jsonl(path)
+    assert [r["name"] for r in loaded] == ["inner", "outer"]
+    assert loaded[1]["attrs"] == {"k": "v"}
+
+
+def test_flush_append_accumulates(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with trace.use_tracing(True):
+        with trace.span("first"):
+            pass
+        trace.flush_jsonl(path)
+        with trace.span("second"):
+            pass
+        trace.flush_jsonl(path, append=True)
+    assert [r["name"] for r in trace.load_jsonl(path)] == ["first", "second"]
+
+
+def test_load_jsonl_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        trace.load_jsonl(str(path))
+
+
+def test_set_buffer_limit_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        trace.set_buffer_limit(0)

@@ -1,0 +1,254 @@
+"""Bench-drift gate: tolerance parsing, classification, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.perf.bench_check import (
+    DEFAULT_IGNORES,
+    DEFAULT_RULES,
+    Tolerance,
+    classify,
+    compare_values,
+    flatten,
+    main,
+    pair_artifacts,
+    parse_tolerance,
+    parse_tolerances,
+)
+
+pytestmark = pytest.mark.ci
+
+
+# -- tolerance parsing ------------------------------------------------------
+
+
+def test_parse_percent_is_relative():
+    tol = parse_tolerance("5%")
+    assert tol.relative == pytest.approx(0.05)
+    assert tol.absolute is None
+    assert tol.describe() == "5%"
+
+
+def test_parse_number_is_absolute():
+    tol = parse_tolerance("0.01")
+    assert tol.absolute == 0.01
+    assert tol.relative is None
+
+
+def test_parse_zero_means_exact():
+    tol = parse_tolerance("0")
+    assert tol.absolute == 0.0
+    assert tol.allows(1.0, 1.0)
+    assert not tol.allows(1.0, 1.0000001)
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "5%%", "-1", "-2%"])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_tolerance(bad)
+
+
+def test_tolerance_needs_exactly_one_kind():
+    with pytest.raises(ValueError):
+        Tolerance()
+    with pytest.raises(ValueError):
+        Tolerance(relative=0.1, absolute=0.1)
+
+
+def test_relative_allows_scales_with_baseline():
+    tol = Tolerance(relative=0.10)
+    assert tol.allows(100.0, 109.9)
+    assert not tol.allows(100.0, 111.0)
+    assert tol.allows(0.5, 0.54)
+
+
+def test_parse_tolerances_rules_first_match_wins():
+    rules = parse_tolerances("*seconds*=50%, counters.*=0")
+    assert rules[0][0] == "*seconds*"
+    assert rules[0][1].relative == pytest.approx(0.5)
+    assert rules[1][1].absolute == 0.0
+    with pytest.raises(ValueError, match="PATTERN=VALUE"):
+        parse_tolerances("just-a-pattern")
+    with pytest.raises(ValueError, match="empty pattern"):
+        parse_tolerances("=5%")
+    with pytest.raises(ValueError):
+        parse_tolerances(" , ")
+
+
+# -- flatten + classification ----------------------------------------------
+
+
+def test_flatten_uses_dots_and_list_indices():
+    flat = flatten({"a": {"b": 1}, "c": [10, {"d": 2}]})
+    assert flat == {"a.b": 1, "c[0]": 10, "c[1].d": 2}
+
+
+def test_classify_statuses():
+    baseline = {
+        "counters": {"rta_calls": 100},
+        "wall_seconds_min": 1.0,
+        "gone": 5,
+        "curves": {"RM-TS": [1.0, 0.5]},
+    }
+    fresh = {
+        "counters": {"rta_calls": 101},          # drift (exact rule)
+        "wall_seconds_min": 1.8,                 # within 100% seconds rule
+        "new_key": "hello",                      # added → warning
+        "curves": {"RM-TS": [1.0, 0.5]},         # equal
+    }
+    findings = {f.path: f for f in classify(baseline, fresh)}
+    assert findings["counters.rta_calls"].status == "drift"
+    assert findings["wall_seconds_min"].status == "within_tolerance"
+    assert findings["gone"].status == "missing"
+    assert findings["gone"].is_drift
+    assert findings["new_key"].status == "added"
+    assert not findings["new_key"].is_drift
+    assert findings["curves.RM-TS[0]"].status == "equal"
+
+
+def test_classify_ignores_noise_paths():
+    baseline = {
+        "provenance": {"code_version": "a"},
+        "host": {"cpu_count": 1, "note": "x"},
+        "modes": {"serial": {"wall_seconds_all": [1.0, 2.0]}},
+        "speedups_vs_legacy": {"parallel": 2.0},
+        "real": 1,
+    }
+    fresh = {
+        "provenance": {"code_version": "b"},
+        "host": {"cpu_count": 64, "note": "y"},
+        "modes": {"serial": {"wall_seconds_all": [9.0]}},
+        "speedups_vs_legacy": {"parallel": 99.0},
+        "real": 1,
+    }
+    findings = classify(baseline, fresh)
+    assert [f.path for f in findings] == ["real"]
+    assert findings[0].status == "equal"
+
+
+def test_non_numeric_leaves_compare_exactly():
+    assert compare_values(
+        "kind", "bench_sweep", "bench_sweep", Tolerance(absolute=0.0)
+    ).status == "equal"
+    assert compare_values(
+        "kind", "bench_sweep", "bench_store", Tolerance(relative=10.0)
+    ).status == "drift"
+    # booleans are not numbers: True must not be "within 100%" of 0
+    assert compare_values(
+        "flag", True, False, Tolerance(relative=1.0)
+    ).status == "drift"
+
+
+def test_custom_rules_precede_defaults():
+    rules = parse_tolerances("counters.*=5%") + list(DEFAULT_RULES)
+    findings = {
+        f.path: f
+        for f in classify(
+            {"counters": {"rta_calls": 100}},
+            {"counters": {"rta_calls": 103}},
+            rules=rules,
+        )
+    }
+    assert findings["counters.rta_calls"].status == "within_tolerance"
+
+
+def test_default_ignores_are_stable():
+    # the nightly workflow depends on these staying ignored
+    assert "provenance.*" in DEFAULT_IGNORES
+    assert "host.*" in DEFAULT_IGNORES
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_ok_and_drift_exit_codes(tmp_path, capsys):
+    base = _write(tmp_path / "BENCH_x.json",
+                  {"kind": "x", "counters": {"calls": 5}, "seconds": 1.0})
+    same = _write(tmp_path / "BENCH_same.json",
+                  {"kind": "x", "counters": {"calls": 5}, "seconds": 1.9})
+    assert main(["check", "--baseline", base, "--fresh", same]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out
+
+    drifted = _write(tmp_path / "BENCH_drift.json",
+                     {"kind": "x", "counters": {"calls": 6}, "seconds": 1.0})
+    assert main(["check", "--baseline", base, "--fresh", drifted]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "counters.calls" in out
+
+
+def test_cli_directory_pairing_and_json_report(tmp_path, capsys):
+    basedir = tmp_path / "base"
+    freshdir = tmp_path / "fresh"
+    basedir.mkdir()
+    freshdir.mkdir()
+    _write(basedir / "BENCH_a.json", {"v": 1})
+    _write(basedir / "BENCH_only_base.json", {"v": 1})
+    _write(freshdir / "BENCH_a.json", {"v": 1, "extra": 2})
+    _write(freshdir / "BENCH_only_fresh.json", {"v": 9})
+    code = main(["check", "--baseline", str(basedir),
+                 "--fresh", str(freshdir), "--json"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert list(report["artifacts"]) == ["BENCH_a.json"]
+    assert report["artifacts"]["BENCH_a.json"]["added"] == ["extra"]
+    assert report["drift"] is False
+
+
+def test_cli_errors_exit_2(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["check", "--baseline", str(empty),
+                 "--fresh", str(empty)]) == 2
+    assert "no artifact pairs" in capsys.readouterr().err
+
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{broken")
+    good = _write(tmp_path / "BENCH_good.json", {"v": 1})
+    assert main(["check", "--baseline", str(bad), "--fresh", good]) == 2
+
+    listy = tmp_path / "BENCH_list.json"
+    listy.write_text("[1, 2]")
+    assert main(["check", "--baseline", str(listy), "--fresh", good]) == 2
+
+
+def test_pair_artifacts_by_basename(tmp_path):
+    basedir = tmp_path / "b"
+    freshdir = tmp_path / "f"
+    basedir.mkdir()
+    freshdir.mkdir()
+    _write(basedir / "BENCH_sweep.json", {})
+    _write(freshdir / "BENCH_sweep.json", {})
+    pairs = pair_artifacts(str(basedir), str(freshdir))
+    assert [p[0] for p in pairs] == ["BENCH_sweep.json"]
+
+
+def test_committed_baselines_self_compare_clean():
+    # The real committed artifacts compared against themselves must be
+    # drift-free — guards the ignore/tolerance defaults against the
+    # actual nightly inputs.
+    import os
+
+    results = os.path.join(
+        os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+    )
+    if not os.path.isdir(results):
+        pytest.skip("no committed benchmark artifacts")
+    assert main(["check", "--baseline", results, "--fresh", results]) == 0
+
+
+def test_wrapper_script_exists_and_targets_check():
+    import os
+
+    script = os.path.join(
+        os.path.dirname(__file__), "..", "..", "scripts",
+        "check_bench_drift.py",
+    )
+    source = open(script).read()
+    assert 'main(["check", *sys.argv[1:]])' in source

@@ -24,8 +24,13 @@ async def http_request(
     path: str,
     body: Optional[object] = None,
     host: str = "127.0.0.1",
+    raw: bool = False,
 ) -> Tuple[int, Dict[str, str], object]:
-    """One-shot request; returns (status, headers, parsed JSON body)."""
+    """One-shot request; returns (status, headers, parsed JSON body).
+
+    ``raw=True`` returns the body as decoded text instead of parsing it
+    as JSON — for non-JSON responses like the Prometheus exposition.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     payload = b"" if body is None else json.dumps(body).encode()
     writer.write(
@@ -49,6 +54,8 @@ async def http_request(
     writer.close()
     with contextlib.suppress(Exception):
         await writer.wait_closed()
+    if raw:
+        return status, headers, data.decode("utf-8")
     return status, headers, json.loads(data) if data else None
 
 
