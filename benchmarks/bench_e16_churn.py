@@ -1,0 +1,11 @@
+"""Churn: admission policies under arrival/departure load (E16).
+
+Regenerates the experiment's table (written to benchmarks/results/e16.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e16(benchmark):
+    run_experiment_benchmark(benchmark, "e16")

@@ -279,6 +279,59 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_churn(args) -> int:
+    from repro.cluster.events import ChurnConfig
+    from repro.cluster.sweep import run_churn_grid
+    from repro.perf.telemetry import write_bench_json
+
+    if args.resume and not args.store:
+        raise ValueError("--resume needs --store PATH")
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    base = ChurnConfig(
+        processors=args.processors,
+        horizon=args.horizon,
+        seed=args.seed,
+        mean_lifetime=args.mean_lifetime,
+        lifetime_model=args.lifetimes,
+        u_set=args.u_set,
+        k=args.k,
+        queue_limit=args.queue_limit,
+        max_wait=args.max_wait,
+    )
+    rows = run_churn_grid(
+        base, policies, rates,
+        jobs=args.jobs, store_path=args.store, resume=args.resume,
+    )
+    print(f"churn grid: M={args.processors}, horizon={args.horizon} "
+          f"arrivals/cell, seed={args.seed}, k={args.k}, jobs={args.jobs}")
+    header = (f"{'policy':>14} {'rate':>7} {'load':>6} {'reject':>7} "
+              f"{'util':>6} {'mig/dep':>8} {'events':>7}")
+    print(header)
+    for row in rows:
+        print(f"{row['policy']:>14} {row['arrival_rate']:>7g} "
+              f"{row['offered_load']:>6.2f} {row['rejection_ratio']:>7.3f} "
+              f"{row['steady_state_utilization']:>6.3f} "
+              f"{row['migrations_per_departure']:>8.3f} {row['events']:>7}")
+    if args.bench_json:
+        report = {
+            "kind": "churn_sweep",
+            "config": {
+                "processors": args.processors,
+                "horizon": args.horizon,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "policies": policies,
+                "arrival_rates": rates,
+                "k": args.k,
+            },
+            "rows": rows,
+        }
+        write_bench_json(args.bench_json, report)
+        print(f"report written to {args.bench_json}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service.handlers import ServiceConfig
     from repro.service.server import run
@@ -293,6 +346,12 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         inject_delay=args.inject_delay,
         store_path=args.store,
+        cluster=args.cluster,
+        cluster_policy=args.cluster_policy,
+        cluster_processors=args.cluster_processors,
+        cluster_k=args.cluster_k,
+        cluster_queue_limit=args.cluster_queue_limit,
+        cluster_max_wait=args.cluster_max_wait,
     )
     return run(config)
 
@@ -469,7 +528,71 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the result cache in this sqlite "
                          "store so it survives restarts "
                          "(see docs/storage.md)")
+    p_serve.add_argument("--cluster", action="store_true",
+                         help="stateful cluster mode: /v1/admit places "
+                         "task sets onto persistent processor state, "
+                         "/v1/depart frees it (see docs/churn.md)")
+    p_serve.add_argument("--cluster-policy", default="ff-rta",
+                         help="churn policy for --cluster placement")
+    p_serve.add_argument("--cluster-processors", type=int, default=8)
+    p_serve.add_argument("--cluster-k", type=int, default=2,
+                         help="migration budget per departure")
+    p_serve.add_argument("--cluster-queue-limit", type=int, default=8,
+                         help="bounded wait queue for cluster admissions")
+    p_serve.add_argument("--cluster-max-wait", type=float, default=300.0,
+                         help="seconds before a queued tenant expires")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_churn = sub.add_parser(
+        "churn",
+        help="simulate long-horizon arrival/departure churn (E16)",
+    )
+    p_churn.add_argument(
+        "--policies", default="ff-rta,bf-rejoin,compact",
+        help="comma-separated churn policies (see docs/churn.md)",
+    )
+    p_churn.add_argument(
+        "--rates", default="0.008,0.014,0.018",
+        help="comma-separated arrival rates (tenants per time unit)",
+    )
+    p_churn.add_argument("--processors", "-m", type=int, default=4)
+    p_churn.add_argument("--horizon", type=int, default=100,
+                         help="tenant arrivals per grid cell")
+    p_churn.add_argument("--seed", type=int, default=0)
+    p_churn.add_argument("--mean-lifetime", type=float, default=400.0)
+    p_churn.add_argument(
+        "--lifetimes", choices=["exponential", "pareto", "fixed"],
+        default="exponential",
+        help="tenant lifetime model (pareto = heavy-tailed, alpha 2)",
+    )
+    p_churn.add_argument("--u-set", type=float, default=0.5,
+                         help="total utilization per tenant task set")
+    p_churn.add_argument("--k", type=int, default=2,
+                         help="migration budget per event")
+    p_churn.add_argument("--queue-limit", type=int, default=8,
+                         help="bounded wait queue for blocked arrivals")
+    p_churn.add_argument("--max-wait", type=float, default=200.0,
+                         help="simulated time before a queued set expires")
+    p_churn.add_argument(
+        "--jobs", "-j", type=jobs_arg, default=1,
+        help="worker processes (0 = all cores; rows are bit-identical "
+        "at any jobs level)",
+    )
+    p_churn.add_argument(
+        "--store", default=None,
+        help="journal every event into this persistent store "
+        "(namespace churn:<config-sha256>; enables --resume)",
+    )
+    p_churn.add_argument(
+        "--resume", action="store_true",
+        help="replay journaled events from --store and compute only "
+        "the remainder (final metrics are bit-identical)",
+    )
+    p_churn.add_argument(
+        "--bench-json", default=None,
+        help="write the grid + provenance stamp to this JSON file",
+    )
+    p_churn.set_defaults(func=cmd_churn)
 
     p_store = sub.add_parser(
         "store",

@@ -1,0 +1,238 @@
+"""Churn configuration and deterministic event timelines.
+
+Every random quantity of a churn run — inter-arrival gaps, lifetimes,
+tenant task sets — draws from its own :func:`repro.runner.cell_rng`
+stream, keyed ``(seed, stream, i)``.  A tenant's task set or lifetime is
+therefore a pure function of the configuration and the tenant index,
+independent of process, worker count or event order; this is what makes
+journal replay and ``--jobs N`` runs bit-identical.
+
+The configuration is content-addressed exactly like sweep checkpoints
+(:func:`repro.store.checkpoint.sweep_config_key`): floats are encoded
+with ``float.hex()`` and the SHA-256 of the canonical JSON names the
+``churn:<sha256>`` journal namespace, so a resumed run can never mix
+events from a different configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+from repro.core.task import TaskSet
+from repro.runner import cell_rng
+from repro.taskgen.generators import TaskSetGenerator
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnEvent",
+    "build_event_timeline",
+    "churn_config_key",
+    "tenant_taskset",
+]
+
+#: ``cell_rng`` stream discriminators (second key component).
+_ARRIVAL_STREAM = 0
+_LIFETIME_STREAM = 1
+_TASKSET_STREAM = 2
+
+#: Pareto shape for heavy-tailed lifetimes; ``alpha=2`` keeps the mean
+#: finite (``mean_lifetime``) while the variance diverges.
+_PARETO_SHAPE = 2.0
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """One churn-simulation configuration (hashable, content-addressed).
+
+    ``u_set`` is the *total* utilization of one tenant's task set;
+    the offered steady-state load of the cluster is approximately
+    ``arrival_rate * mean_lifetime * u_set / processors`` by Little's
+    law, which :meth:`offered_load` reports.
+    """
+
+    policy: str = "ff-rta"
+    processors: int = 8
+    seed: int = 0
+    #: Number of tenant arrivals in the run.
+    horizon: int = 200
+    #: Mean arrivals per simulated time unit ("poisson" model).
+    arrival_rate: float = 0.02
+    #: Mean tenant lifetime in simulated time units.
+    mean_lifetime: float = 400.0
+    #: "exponential" | "pareto" (heavy-tailed) | "fixed".
+    lifetime_model: str = "exponential"
+    #: "poisson" | "trace" (explicit (arrival_time, lifetime) rows).
+    arrival_model: str = "poisson"
+    #: Trace rows for ``arrival_model="trace"``; lifetimes <= 0 fall
+    #: back to the configured lifetime model.
+    trace: Tuple[Tuple[float, float], ...] = ()
+    #: Tasks per tenant task set (cluster tids reserve two digits).
+    tasks_per_set: int = 4
+    #: Total utilization of one tenant's task set.
+    u_set: float = 0.5
+    #: Task-generator shape (see :class:`~repro.taskgen.TaskSetGenerator`).
+    period_model: str = "loguniform"
+    tmin: float = 10.0
+    tmax: float = 1000.0
+    #: Migration budget: at most ``k`` task relocations per event.
+    k: int = 2
+    #: Bounded wait queue for rejected arrivals.
+    queue_limit: int = 8
+    #: Queued task sets expire after this much simulated time.
+    max_wait: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.horizon < 1 and not self.trace:
+            raise ValueError("need at least one arrival")
+        if not 1 <= self.tasks_per_set <= 99:
+            raise ValueError(
+                "tasks_per_set must lie in [1, 99] (cluster task ids "
+                "reserve two decimal digits for the local index)"
+            )
+        if self.arrival_model not in ("poisson", "trace"):
+            raise ValueError(f"unknown arrival model {self.arrival_model!r}")
+        if self.lifetime_model not in ("exponential", "pareto", "fixed"):
+            raise ValueError(f"unknown lifetime model {self.lifetime_model!r}")
+        if self.arrival_model == "trace" and not self.trace:
+            raise ValueError("trace arrival model needs trace rows")
+        if self.arrival_rate <= 0.0 or self.mean_lifetime <= 0.0:
+            raise ValueError("arrival_rate and mean_lifetime must be > 0")
+        if self.u_set <= 0.0:
+            raise ValueError("u_set must be > 0")
+        if self.k < 0 or self.queue_limit < 0:
+            raise ValueError("k and queue_limit must be >= 0")
+        if self.max_wait <= 0.0:
+            raise ValueError("max_wait must be > 0")
+        if self.tmax > 10_000.0:
+            raise ValueError(
+                "tmax must stay <= 10000 so cluster task ids "
+                "(period-keyed priorities) fit the RTA kernels' int64"
+            )
+        if self.horizon > 10**6:
+            raise ValueError("horizon is capped at 10**6 tenants")
+
+    def generator(self) -> TaskSetGenerator:
+        """The tenant task-set generator this configuration implies."""
+        return TaskSetGenerator(
+            n=self.tasks_per_set,
+            period_model=self.period_model,
+            tmin=self.tmin,
+            tmax=self.tmax,
+        )
+
+    def offered_load(self) -> float:
+        """Expected steady-state utilization demand, by Little's law."""
+        return (
+            self.arrival_rate * self.mean_lifetime * self.u_set
+            / self.processors
+        )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timeline entry; ``tenant`` indexes the arrival sequence."""
+
+    time: float
+    #: "arrival" | "departure".
+    kind: str
+    tenant: int
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Total event order: time, then departures before arrivals
+        (capacity frees up before the next admission attempt), then the
+        tenant index — deterministic even on exact time ties."""
+        return (self.time, 0 if self.kind == "departure" else 1, self.tenant)
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def churn_config_key(config: ChurnConfig) -> str:
+    """Canonical content hash of one churn configuration.
+
+    Mirrors :func:`repro.store.checkpoint.sweep_config_key`: floats are
+    ``float.hex()``-encoded so the key is exact; any parameter change
+    yields a fresh ``churn:`` namespace.
+    """
+    canonical = {}
+    for key, value in sorted(asdict(config).items()):
+        if isinstance(value, float):
+            canonical[key] = _hex(value)
+        elif key == "trace":
+            canonical[key] = [
+                [_hex(t), _hex(life)] for t, life in config.trace
+            ]
+        else:
+            canonical[key] = value
+    blob = json.dumps(
+        {"kind": "churn", "config": canonical},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _lifetime(config: ChurnConfig, tenant: int) -> float:
+    """Lifetime of *tenant*, drawn from its own ``cell_rng`` stream."""
+    if config.lifetime_model == "fixed":
+        return config.mean_lifetime
+    rng = cell_rng(config.seed, _LIFETIME_STREAM, tenant)
+    if config.lifetime_model == "pareto":
+        # Standard Pareto with x_m chosen so the mean is mean_lifetime:
+        # mean = alpha * x_m / (alpha - 1).
+        x_m = config.mean_lifetime * (_PARETO_SHAPE - 1.0) / _PARETO_SHAPE
+        return float(x_m * (1.0 + rng.pareto(_PARETO_SHAPE)))
+    return float(rng.exponential(config.mean_lifetime))
+
+
+def build_event_timeline(config: ChurnConfig) -> List[ChurnEvent]:
+    """The full, sorted arrival/departure timeline of a run.
+
+    Pure function of the configuration: arrival gap ``i`` and tenant
+    ``i``'s lifetime each come from ``cell_rng(seed, stream, i)``, so
+    the timeline is identical no matter where or how often it is built.
+    """
+    arrivals: List[Tuple[int, float, float]] = []
+    if config.arrival_model == "trace":
+        for tenant, (time, lifetime) in enumerate(config.trace):
+            if lifetime <= 0.0:
+                lifetime = _lifetime(config, tenant)
+            arrivals.append((tenant, float(time), float(lifetime)))
+    else:
+        now = 0.0
+        for tenant in range(config.horizon):
+            gap = cell_rng(config.seed, _ARRIVAL_STREAM, tenant).exponential(
+                1.0 / config.arrival_rate
+            )
+            now += float(gap)
+            arrivals.append((tenant, now, _lifetime(config, tenant)))
+
+    events = [
+        ChurnEvent(time=time, kind="arrival", tenant=tenant)
+        for tenant, time, _ in arrivals
+    ]
+    events.extend(
+        ChurnEvent(time=time + lifetime, kind="departure", tenant=tenant)
+        for tenant, time, lifetime in arrivals
+    )
+    return sorted(events, key=lambda e: e.sort_key)
+
+
+def tenant_taskset(config: ChurnConfig, tenant: int) -> TaskSet:
+    """Tenant *tenant*'s task set (total utilization ``u_set``).
+
+    The generator consumes ``cell_rng(seed, stream, tenant)`` directly,
+    so the set depends only on the configuration and the tenant index.
+    """
+    return config.generator().generate(
+        u_norm=config.u_set,
+        processors=1,
+        seed=cell_rng(config.seed, _TASKSET_STREAM, tenant),
+    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 from repro._util.floats import EPS, is_close
 from repro._util.invariants import check_partition
@@ -108,6 +108,37 @@ class ProcessorState:
         ``subtasks`` (normal code should only mutate via :meth:`add`)."""
         self._ctx = None
         self._util = float(sum(s.utilization for s in self.subtasks))
+
+    def remove_parent(self, tid: int) -> int:
+        """Withdraw every piece of task *tid* from this processor.
+
+        This is the departure path of the churn simulator
+        (:mod:`repro.cluster`).  The cached analysis context is dropped
+        and the running utilization recomputed over the survivors in list
+        order — the same left-to-right float accumulation :meth:`add`
+        performs — so subsequent admission probes are bit-identical to a
+        processor that admitted only the survivors, in the same order,
+        and never hosted *tid* (see ``tests/core/test_removal.py``).
+
+        Returns the number of subtask pieces removed.
+        """
+        kept = [s for s in self.subtasks if s.parent.tid != tid]
+        removed = len(self.subtasks) - len(kept)
+        if removed == 0:
+            return 0
+        self.subtasks = kept
+        if self.pre_assigned_tid == tid:
+            self.pre_assigned_tid = None
+            if self.role is ProcessorRole.PRE_ASSIGNED:
+                self.role = ProcessorRole.NORMAL
+        if self.role is ProcessorRole.DEDICATED and not kept:
+            self.role = ProcessorRole.NORMAL
+        # "full" marks a processor filled by a body subtask during
+        # splitting; once no body remains the capacity is reclaimable.
+        if not any(s.kind is SubtaskKind.BODY for s in kept):
+            self.full = False
+        self.invalidate_analysis()
+        return removed
 
     def rta_context(self) -> RTAContext:
         """The cached analysis context, rebuilt only after mutation."""
@@ -338,6 +369,43 @@ class PartitionResult:
         """tids of tasks that were actually split (>= 2 pieces)."""
         return [tid for tid, v in self.split_views().items() if len(v.pieces) > 1]
 
+    # -- departure / re-admission (churn) -------------------------------------
+
+    def removed_tids(self) -> List[int]:
+        """tids withdrawn via :meth:`remove_task` and not yet re-admitted."""
+        value = self.info.get("removed_tids", [])
+        if not isinstance(value, list):
+            return []
+        return list(cast(List[int], value))
+
+    def remove_task(self, tid: int) -> int:
+        """Withdraw task *tid* from every processor (the departure path).
+
+        The tid is recorded under ``info["removed_tids"]`` instead of
+        rebuilding ``taskset`` — :class:`~repro.core.task.TaskSet`
+        re-assigns tids on construction, which would sever the
+        subtask→parent correspondence of the surviving assignment.
+        :meth:`validate` skips removed tids in its coverage check; every
+        other invariant keeps holding for the survivors.  Returns the
+        number of subtask pieces removed across all processors.
+        """
+        removed = 0
+        for proc in self.processors:
+            removed += proc.remove_parent(tid)
+        if tid in self.unassigned_tids:
+            self.unassigned_tids.remove(tid)
+        record = cast(List[int], self.info.setdefault("removed_tids", []))
+        if tid not in record:
+            record.append(tid)
+        return removed
+
+    def restore_task(self, tid: int) -> None:
+        """Clear the removed-tid record after a successful re-admission
+        (see :func:`repro.core.rmts.readmit_task`)."""
+        record = cast(List[int], self.info.setdefault("removed_tids", []))
+        if tid in record:
+            record.remove(tid)
+
     # -- validation ------------------------------------------------------------
 
     @property
@@ -398,7 +466,12 @@ class PartitionResult:
         edf = self.scheduler == "edf"
 
         if self.success:
-            missing = [t.tid for t in self.taskset if t.tid not in views]
+            departed = set(self.removed_tids())
+            missing = [
+                t.tid
+                for t in self.taskset
+                if t.tid not in views and t.tid not in departed
+            ]
             if missing:
                 errors.append(f"success claimed but tasks {missing} unassigned")
             for tid, view in views.items():

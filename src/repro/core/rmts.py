@@ -51,9 +51,14 @@ from repro.core.partition import (
     ProcessorRole,
     ProcessorState,
 )
-from repro.core.task import Subtask, TaskSet
+from repro.core.task import Subtask, Task, TaskSet
 
-__all__ = ["partition_rmts", "pre_assign_condition", "resolve_bound_value"]
+__all__ = [
+    "partition_rmts",
+    "pre_assign_condition",
+    "readmit_task",
+    "resolve_bound_value",
+]
 
 
 def resolve_bound_value(
@@ -86,6 +91,47 @@ def pre_assign_condition(
     return approx_le(
         lower_priority_utilization, (normal_processors - 1) * bound_value
     )
+
+
+def readmit_task(
+    result: PartitionResult,
+    task: Task,
+    *,
+    policy: Optional[AdmissionPolicy] = None,
+) -> Optional[int]:
+    """Re-admit a previously removed task onto an existing partition.
+
+    The incremental counterpart of re-running the partitioner after a
+    departure (:meth:`~repro.core.partition.PartitionResult.remove_task`):
+    *task* is offered **whole** (no splitting) to the processors of
+    *result* first-fit in index order, every candidate placement verified
+    with the admission policy's exact RTA against the live contents.
+
+    Two classes of processor are skipped to keep the partition's
+    invariants intact:
+
+    * full or dedicated processors (their capacity is spoken for);
+    * processors hosting a *body* subtask of lower priority than *task* —
+      admitting higher-priority work there would inflate the body's
+      response time and silently invalidate the Eq. 1 synthetic deadline
+      of the downstream tail on another processor.
+
+    Returns the hosting processor index on success (and clears the tid
+    from ``info["removed_tids"]``), or ``None`` when no processor can
+    take the task back.
+    """
+    policy = policy or ExactRTAAdmission()
+    candidate = Subtask.whole(task)
+    for proc in sorted(result.processors, key=lambda p: p.index):
+        if proc.full or proc.role is ProcessorRole.DEDICATED:
+            continue
+        if any(task.tid < body.priority for body in proc.body_subtasks()):
+            continue
+        if policy.fits(proc, candidate):
+            proc.add(candidate)
+            result.restore_task(task.tid)
+            return proc.index
+    return None
 
 
 def partition_rmts(

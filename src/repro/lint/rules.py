@@ -340,8 +340,10 @@ def _async_body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
 
 @rule("R3", "blocking-in-async")
 def _check_blocking_in_async(lf: LintedFile) -> Iterable[Diagnostic]:
-    """Blocking IO inside ``async def`` in repro/service/."""
-    if not _in_package(lf, "service"):
+    """Blocking IO inside ``async def`` in repro/service/ and
+    repro/cluster/ (the cluster coordinator's async handlers share the
+    event loop with the admission service)."""
+    if not _in_package(lf, "service", "cluster"):
         return
     for node in ast.walk(lf.tree):
         if not isinstance(node, ast.AsyncFunctionDef):
@@ -500,7 +502,7 @@ def _check_frozen_mutation(lf: LintedFile) -> Iterable[Diagnostic]:
 
 
 # --------------------------------------------------------------------------
-# R6 — swallowed exceptions in service/, runner/ and obs/
+# R6 — swallowed exceptions in service/, runner/, obs/ and cluster/
 # --------------------------------------------------------------------------
 
 _BROAD_TYPES = {"Exception", "BaseException"}
@@ -548,7 +550,7 @@ def _handler_observes_exception(handler: ast.ExceptHandler) -> bool:
 @rule("R6", "swallowed-exception")
 def _check_swallowed_exception(lf: LintedFile) -> Iterable[Diagnostic]:
     """Bare/overbroad except that neither re-raises, logs, nor counts."""
-    if not _in_package(lf, "service", "runner", "obs"):
+    if not _in_package(lf, "service", "runner", "obs", "cluster"):
         return
     for node in ast.walk(lf.tree):
         if not isinstance(node, ast.ExceptHandler):
@@ -674,6 +676,7 @@ _R8_EXEMPT_SUFFIXES = (
     "store/bench_store.py",
     "obs/cli.py",
     "perf/bench_check.py",
+    "cluster/bench_churn.py",
 )
 
 

@@ -55,6 +55,10 @@ __all__ = [
     "HTTP_LATENCY",
     "STORE_GET_SECONDS",
     "STORE_PUT_SECONDS",
+    "CLUSTER_EVENT_SECONDS",
+    "CLUSTER_WAIT_TIME",
+    "CLUSTER_UTILIZATION",
+    "CLUSTER_MIGRATIONS",
 ]
 
 
@@ -379,4 +383,38 @@ STORE_PUT_SECONDS = histogram(
     "store_put_seconds",
     _IO_BOUNDS,
     "wall seconds per persistent-store insert-or-get",
+)
+
+#: Churn-simulator SLO buckets over *simulated* time units (task periods
+#: span 10..1000 by default), so the observed values — unlike wall-clock
+#: latencies — are deterministic for a given seed+config.
+_SIM_WAIT_BOUNDS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+#: Normalized cluster utilization snapshots, 5 %-wide bins.
+_UTILIZATION_BOUNDS = tuple(round(0.05 * i, 2) for i in range(1, 20))
+
+#: Migrations per departure event; the simulator caps these at ``k``.
+_MIGRATION_BOUNDS = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+CLUSTER_EVENT_SECONDS = histogram(
+    "cluster_event_seconds",
+    _LATENCY_BOUNDS,
+    "wall seconds per churn-simulator event (admission + re-partition)",
+)
+CLUSTER_WAIT_TIME = histogram(
+    "cluster_wait_time",
+    _SIM_WAIT_BOUNDS,
+    "simulated time units an admitted task set spent in the wait queue",
+)
+CLUSTER_UTILIZATION = histogram(
+    "cluster_utilization",
+    _UTILIZATION_BOUNDS,
+    "normalized cluster utilization sampled after each churn event",
+)
+CLUSTER_MIGRATIONS = histogram(
+    "cluster_migrations_per_departure",
+    _MIGRATION_BOUNDS,
+    "task migrations applied per departure event (RTA re-verified)",
 )

@@ -135,10 +135,11 @@ def parse_tolerances(text: str) -> List[Tuple[str, Tolerance]]:
     return rules
 
 
-#: Default rules: wall time is noisy (100 % relative), everything else —
-#: counters, curves, configs — must match exactly.
+#: Default rules: wall time and throughput are noisy (100 % relative),
+#: everything else — counters, curves, configs — must match exactly.
 DEFAULT_RULES: Tuple[Tuple[str, Tolerance], ...] = (
     ("*seconds*", Tolerance(relative=1.0)),
+    ("*per_second*", Tolerance(relative=1.0)),
     ("*", Tolerance(absolute=0.0)),
 )
 

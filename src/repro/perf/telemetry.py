@@ -49,6 +49,16 @@ _FIELDS = (
     "st_schema_evictions",  # rows invalidated by a schema-version change
     "st_quarantines",     # whole files set aside and rebuilt from scratch
     "st_gc_removed",      # rows removed by TTL / capacity compaction
+    # -- churn cluster simulator (repro.cluster) ----------------------------
+    "cl_events",          # churn events processed (arrivals + departures)
+    "cl_admits",          # task sets admitted to the live cluster
+    "cl_rejects",         # task sets rejected outright (no queue slot)
+    "cl_queued",          # task sets parked in the bounded wait queue
+    "cl_queue_timeouts",  # queued task sets expired past max_wait
+    "cl_readmits",        # queued task sets admitted after a departure
+    "cl_departures",      # resident task sets that left the cluster
+    "cl_migrations",      # task relocations applied (all RTA re-verified)
+    "cl_journal_events",  # events written to the churn store journal
 )
 
 

@@ -84,6 +84,20 @@ class ServiceConfig:
     #: result cache becomes a two-tier LRU+sqlite cache that survives
     #: restarts (``--store`` on ``python -m repro serve``).
     store_path: Optional[str] = None
+    #: stateful cluster mode (``--cluster``): ``/v1/admit`` places task
+    #: sets onto persistent per-processor state via a
+    #: :class:`repro.cluster.service.ClusterCoordinator`, ``/v1/depart``
+    #: withdraws tenants, ``GET /v1/cluster`` snapshots the state.
+    cluster: bool = False
+    #: churn policy driving cluster-mode placement (``CHURN_POLICIES``).
+    cluster_policy: str = "ff-rta"
+    cluster_processors: int = 8
+    #: migration budget per departure event in cluster mode.
+    cluster_k: int = 2
+    #: bounded wait queue for cluster-mode admissions that don't fit yet.
+    cluster_queue_limit: int = 8
+    #: wall-clock seconds before a queued cluster tenant expires.
+    cluster_max_wait: float = 300.0
 
 
 # ---------------------------------------------------------------------------

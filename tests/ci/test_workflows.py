@@ -63,6 +63,9 @@ def test_nightly_regenerates_benchmarks_with_baseline_parameters():
     # committed BENCH_store.json uses the module defaults
     assert "python -m repro.store.bench_store" in text
     assert "python -m repro.service.loadgen" in text
+    # committed BENCH_churn.json config: processors=4, horizon=60, jobs=2
+    assert ("python -m repro.cluster.bench_churn "
+            "--processors 4 --horizon 60 --seed 0 --jobs 2") in text
 
 
 def test_nightly_gates_on_bench_drift_and_uploads_artifacts():
@@ -95,6 +98,24 @@ def test_nightly_sweep_params_match_committed_sweep_config():
     assert f"--jobs {config['jobs']}" in text
     assert f"--repeats {config['repeats']}" in text
     assert f"--seed {config['seed']}" in text
+
+
+def test_nightly_churn_params_match_committed_churn_config():
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_churn.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_churn.json")
+    config = json.loads(artifact.read_text())["config"]
+    text = NIGHTLY.read_text()
+    churn_line = next(
+        line for line in text.splitlines()
+        if "repro.cluster.bench_churn" in line
+    )
+    assert f"--processors {config['processors']}" in churn_line
+    assert f"--horizon {config['horizon']}" in churn_line
+    assert f"--seed {config['seed']}" in churn_line
+    assert f"--jobs {config['jobs']}" in churn_line
 
 
 def test_workflows_parse_as_yaml_when_parser_available():

@@ -1,0 +1,26 @@
+"""Opt-in canary for the churn benchmark pipeline (pytest -m perf_smoke)."""
+
+import pytest
+
+from repro.cluster.bench_churn import BENCH_POLICIES, run_bench_churn
+
+pytestmark = [pytest.mark.perf_smoke, pytest.mark.churn]
+
+
+def test_bench_churn_quick(tmp_path):
+    out = str(tmp_path / "BENCH_churn.json")
+    report = run_bench_churn(horizon=12, jobs=2, out=out)
+    assert report["kind"] == "churn_bench"
+    assert set(report["grid"]) == set(BENCH_POLICIES)
+    assert report["determinism"]["jobs_invariant"] is True
+    assert report["determinism"]["resume"]["metrics_identical"] is True
+    for rows in report["grid"].values():
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.0 <= row["rejection_ratio"] <= 1.0
+    import json
+
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["kind"] == "churn_bench"
+    assert "provenance" in payload

@@ -1,0 +1,149 @@
+"""ClusterCoordinator unit tests with an injectable wall clock."""
+
+import pytest
+
+from repro.cluster.events import ChurnConfig
+from repro.cluster.service import (
+    ClusterCoordinator,
+    admit_async,
+    depart_async,
+)
+from repro.core.task import Task, TaskSet
+from repro.service.validation import RequestValidationError
+
+pytestmark = pytest.mark.churn
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def small_set(u=0.3, n=3, period=50.0):
+    cost = u * period / n
+    return TaskSet(
+        Task(cost=cost, period=period, tid=i, name=f"job{i}")
+        for i in range(n)
+    )
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def coordinator(clock):
+    config = ChurnConfig(
+        processors=2, policy="bf-rejoin", k=2, queue_limit=2, max_wait=60.0
+    )
+    return ClusterCoordinator(config, clock=clock)
+
+
+class TestAdmission:
+    def test_admit_assigns_tenants_and_places(self, coordinator):
+        first = coordinator.admit(small_set())
+        second = coordinator.admit(small_set())
+        assert first["status"] == "admitted"
+        assert (first["tenant"], second["tenant"]) == (0, 1)
+        assert first["n"] == 3
+        assert len(first["placement"]) == 3
+        assert second["utilization"] > first["utilization"]
+
+    def test_overload_queues_then_rejects(self, coordinator):
+        statuses = [
+            coordinator.admit(small_set(u=0.8))["status"] for _ in range(6)
+        ]
+        assert statuses[0] == "admitted"
+        assert "queued" in statuses
+        assert statuses[-1] == "rejected"
+        snap = coordinator.snapshot()
+        assert len(snap["queued"]) == coordinator.config.queue_limit
+
+    def test_oversized_set_rejected_with_validation_error(self, coordinator):
+        huge = TaskSet(
+            Task(cost=0.001, period=50.0, tid=i) for i in range(100)
+        )
+        with pytest.raises(RequestValidationError):
+            coordinator.admit(huge)
+
+    def test_period_beyond_cluster_cap_rejected(self, coordinator):
+        slow = TaskSet([Task(cost=1.0, period=20_000.0, tid=0)])
+        with pytest.raises(RequestValidationError) as exc:
+            coordinator.admit(slow)
+        assert "period" in exc.value.errors[0]["field"]
+
+
+class TestDeparture:
+    def test_depart_readmits_from_queue(self, coordinator):
+        big = coordinator.admit(small_set(u=1.2, n=6))
+        assert big["status"] == "admitted"
+        queued = coordinator.admit(small_set(u=0.9, n=4))
+        assert queued["status"] == "queued"
+        body = coordinator.depart(big["tenant"])
+        assert body["status"] == "departed"
+        assert body["pieces_removed"] >= 6
+        assert [r["tenant"] for r in body["readmitted"]] == [
+            queued["tenant"]
+        ]
+        snap = coordinator.snapshot()
+        assert snap["residents"] == [queued["tenant"]]
+        assert snap["queued"] == []
+
+    def test_depart_queued_tenant_dequeues(self, coordinator):
+        coordinator.admit(small_set(u=1.2, n=6))
+        queued = coordinator.admit(small_set(u=0.9, n=4))["tenant"]
+        assert coordinator.depart(queued)["status"] == "dequeued"
+        assert coordinator.snapshot()["queued"] == []
+
+    def test_depart_unknown_tenant(self, coordinator):
+        assert coordinator.depart(41)["status"] == "unknown"
+
+
+class TestQueueExpiry:
+    def test_waiters_expire_after_max_wait(self, coordinator, clock):
+        coordinator.admit(small_set(u=1.2, n=6))
+        assert coordinator.admit(small_set(u=0.9, n=4))["status"] == "queued"
+        clock.now = coordinator.config.max_wait + 1.0
+        snap = coordinator.snapshot()
+        assert snap["queued"] == []
+        assert snap["queue_timeouts"] == 1
+
+    def test_waiters_survive_until_max_wait(self, coordinator, clock):
+        coordinator.admit(small_set(u=1.2, n=6))
+        coordinator.admit(small_set(u=0.9, n=4))
+        clock.now = coordinator.config.max_wait  # not strictly past it
+        assert len(coordinator.snapshot()["queued"]) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, coordinator):
+        coordinator.admit(small_set())
+        snap = coordinator.snapshot()
+        assert snap["policy"] == "bf-rejoin"
+        assert snap["processors"] == 2
+        assert snap["k"] == 2
+        assert snap["residents"] == [0]
+        assert snap["tenants_seen"] == 1
+        assert len(snap["per_processor_utilization"]) == 2
+        # The headline utilization is normalized per processor.
+        assert snap["utilization"] * snap["processors"] == pytest.approx(
+            sum(snap["per_processor_utilization"]), abs=1e-5
+        )
+
+
+class TestAsyncWrappers:
+    def test_async_admit_and_depart(self, coordinator):
+        import asyncio
+
+        async def scenario():
+            body = await admit_async(coordinator, small_set())
+            gone = await depart_async(coordinator, body["tenant"])
+            return body, gone
+
+        body, gone = asyncio.run(scenario())
+        assert body["status"] == "admitted"
+        assert gone["status"] == "departed"

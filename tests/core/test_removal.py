@@ -1,0 +1,155 @@
+"""Departure-path bit-identity: removing a task from live partition
+state must leave exactly the state a survivor-only history would have
+produced (the churn simulator's correctness hinges on this)."""
+
+import pytest
+
+from repro.core.partition import (
+    PartitionResult,
+    ProcessorRole,
+    ProcessorState,
+)
+from repro.core.rmts import partition_rmts, readmit_task
+from repro.core.task import Subtask, SubtaskKind, Task, TaskSet
+from repro.taskgen.generators import TaskSetGenerator
+
+
+def _taskset(seed=7, n=12, u_norm=0.7, processors=4):
+    return TaskSetGenerator(n=n).generate(
+        u_norm=u_norm, processors=processors, seed=seed
+    )
+
+
+def _fresh_from_survivors(proc):
+    """A processor that only ever admitted *proc*'s current subtasks,
+    in the same list order."""
+    fresh = ProcessorState(index=proc.index)
+    for sub in proc.subtasks:
+        fresh.add(sub)
+    return fresh
+
+
+class TestProcessorRemoveParent:
+    def test_util_bit_identical_to_survivor_history(self):
+        ts = _taskset()
+        result = partition_rmts(ts, 4)
+        victim = max(
+            (t for t in ts), key=lambda t: t.utilization
+        ).tid
+        for proc in result.processors:
+            proc.remove_parent(victim)
+            fresh = _fresh_from_survivors(proc)
+            # Exact float equality, not approx: both sides accumulate
+            # left-to-right over the same list.
+            assert proc._util == fresh._util
+            assert proc.utilization == fresh.utilization
+
+    def test_admission_probes_match_survivor_history(self):
+        ts = _taskset(seed=11)
+        result = partition_rmts(ts, 4)
+        victim = ts[0].tid
+        probe = Subtask.whole(Task(cost=5.0, period=100.0, tid=9999))
+        for proc in result.processors:
+            proc.remove_parent(victim)
+            fresh = _fresh_from_survivors(proc)
+            assert proc.schedulable_with(probe) == fresh.schedulable_with(
+                probe
+            )
+            assert proc.is_schedulable() == fresh.is_schedulable()
+
+    def test_remove_unknown_tid_is_noop(self):
+        ts = _taskset()
+        result = partition_rmts(ts, 4)
+        proc = result.processors[0]
+        before = list(proc.subtasks)
+        before_util = proc._util
+        assert proc.remove_parent(10**9) == 0
+        assert proc.subtasks == before
+        assert proc._util == before_util
+
+    def test_removing_body_unfreezes_full_processor(self):
+        task = Task(cost=30.0, period=100.0, tid=1)
+        other = Task(cost=10.0, period=200.0, tid=2)
+        proc = ProcessorState(index=0, full=True)
+        proc.add(Subtask(cost=20.0, period=100.0, deadline=40.0,
+                         parent=task, index=1, kind=SubtaskKind.BODY))
+        proc.add(Subtask.whole(other))
+        assert proc.remove_parent(1) == 1
+        assert not proc.full
+        assert [s.parent.tid for s in proc.subtasks] == [2]
+
+    def test_removing_pre_assigned_task_releases_processor(self):
+        task = Task(cost=40.0, period=100.0, tid=3)
+        proc = ProcessorState(
+            index=0,
+            role=ProcessorRole.PRE_ASSIGNED,
+            pre_assigned_tid=3,
+        )
+        proc.add(Subtask.whole(task))
+        proc.remove_parent(3)
+        assert proc.role is ProcessorRole.NORMAL
+        assert proc.pre_assigned_tid is None
+
+
+class TestPartitionRemoveReadmit:
+    def test_remove_records_and_validate_skips_departed(self):
+        ts = _taskset()
+        result = partition_rmts(ts, 4)
+        victim = ts[2].tid
+        pieces = result.remove_task(victim)
+        assert pieces >= 1
+        assert result.removed_tids() == [victim]
+        assert result.validate() == []
+        assert result.processors_hosting(victim) == []
+
+    def test_remove_is_idempotent_in_the_record(self):
+        ts = _taskset()
+        result = partition_rmts(ts, 4)
+        victim = ts[2].tid
+        result.remove_task(victim)
+        assert result.remove_task(victim) == 0
+        assert result.removed_tids() == [victim]
+
+    def test_readmit_round_trip_restores_validity(self):
+        ts = _taskset(seed=3)
+        result = partition_rmts(ts, 4)
+        victim = ts[1]
+        result.remove_task(victim.tid)
+        host = readmit_task(result, victim)
+        assert host is not None
+        assert result.removed_tids() == []
+        assert result.validate() == []
+        assert result.processors_hosting(victim.tid) == [host]
+
+    @pytest.mark.parametrize("seed", [0, 3, 11, 19])
+    def test_round_trip_matches_fresh_survivor_partition_util(self, seed):
+        """Removing every task of one 'tenant' must leave per-processor
+        utilizations bit-identical to partitions that only ever saw the
+        survivors (list-order float accumulation on both sides)."""
+        ts = _taskset(seed=seed)
+        result = partition_rmts(ts, 4)
+        departed = {ts[0].tid, ts[1].tid}
+        for tid in sorted(departed):
+            result.remove_task(tid)
+        assert result.validate() == []
+        for proc in result.processors:
+            fresh = _fresh_from_survivors(proc)
+            assert proc._util == fresh._util
+            assert proc.rta_context().schedulable == (
+                fresh.rta_context().schedulable
+            )
+
+    def test_readmit_skips_full_and_dedicated_processors(self):
+        heavy = Task(cost=90.0, period=100.0, tid=1)
+        result = PartitionResult(
+            algorithm="fixture",
+            taskset=TaskSet([heavy]),
+            processors=[
+                ProcessorState(index=0, role=ProcessorRole.DEDICATED),
+                ProcessorState(index=1, full=True),
+            ],
+            success=True,
+        )
+        result.info["removed_tids"] = [1]
+        assert readmit_task(result, heavy) is None
+        assert result.removed_tids() == [1]

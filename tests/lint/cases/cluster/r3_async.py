@@ -1,0 +1,26 @@
+"""R3 fixture: blocking calls inside ``async def`` (cluster-scoped rule).
+
+The cluster coordinator's async handlers run on the admission service's
+event loop, so the R3 scope covers ``repro/cluster/`` too.
+"""
+
+import time
+
+
+async def admit_handler(coordinator, path):
+    time.sleep(0.05)  # expect: R3
+    trace = open(path).read()  # expect: R3
+    time.sleep(0.05)  # repro-lint: disable=R3 -- fixture
+
+    def locked_admit():
+        # Nested sync defs go to an executor: blocking there is fine.
+        time.sleep(0.05)
+        return coordinator
+
+    return trace, locked_admit
+
+
+def drain_queue(coordinator, path):
+    # Blocking is fine in the synchronous coordinator itself.
+    time.sleep(0.05)
+    return open(path)

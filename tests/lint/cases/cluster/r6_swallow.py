@@ -1,0 +1,26 @@
+"""R6 fixture: swallowed exceptions (cluster-scoped rule)."""
+
+
+def replay_journal(apply_op, records, log):
+    for record in records:
+        try:
+            apply_op(record)
+        except Exception:  # expect: R6
+            pass
+    try:
+        apply_op(records[-1])
+    except:  # expect: R6  # noqa: E722
+        pass
+    try:
+        apply_op(records[0])
+    except Exception:  # repro-lint: disable=R6 -- fixture
+        pass
+    try:
+        apply_op(records[0])
+    except Exception as exc:
+        log.warning("replay failed: %s", exc)
+    try:
+        apply_op(records[0])
+    except KeyError:
+        # Narrow handlers are fine even when silent.
+        pass

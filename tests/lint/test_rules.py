@@ -43,10 +43,12 @@ def _found(target: Path, code: str):
         ("r1_float_compare.py", "R1"),
         ("r2_rng.py", "R2"),
         ("service/r3_async.py", "R3"),
+        ("cluster/r3_async.py", "R3"),
         ("r4", "R4"),
         ("r5_frozen.py", "R5"),
         ("runner/r6_swallow.py", "R6"),
         ("obs/r6_swallow.py", "R6"),
+        ("cluster/r6_swallow.py", "R6"),
         ("r7_api_drift.py", "R7"),
         ("r7_suppressed.py", "R7"),
         ("r8_print.py", "R8"),

@@ -1,0 +1,160 @@
+"""HTTP surface of cluster mode: stateful admit, depart, snapshot."""
+
+import pytest
+
+from tests.service.conftest import http_request, run_async, running_server
+
+pytestmark = [pytest.mark.service, pytest.mark.churn]
+
+CLUSTER_KWARGS = dict(
+    cluster=True,
+    cluster_policy="bf-rejoin",
+    cluster_processors=2,
+    cluster_k=2,
+    cluster_queue_limit=2,
+    cluster_max_wait=300.0,
+)
+
+
+def _set(u=0.3, n=3, period=50.0):
+    cost = u * period / n
+    return {"tasks": [[cost, period] for _ in range(n)]}
+
+
+class TestClusterAdmit:
+    def test_admit_mutates_live_state(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                port = server.port
+                first = await http_request(
+                    port, "POST", "/v1/admit", _set(u=0.3)
+                )
+                second = await http_request(
+                    port, "POST", "/v1/admit", _set(u=0.3)
+                )
+                snap = await http_request(port, "GET", "/v1/cluster")
+                return first, second, snap
+
+        (s1, _, b1), (s2, _, b2), (s3, _, snap) = run_async(scenario())
+        assert (s1, s2, s3) == (200, 200, 200)
+        assert b1["status"] == "admitted" and b1["tenant"] == 0
+        assert b2["tenant"] == 1
+        assert b2["utilization"] > b1["utilization"]
+        assert snap["policy"] == "bf-rejoin"
+        assert 0 in snap["residents"]
+
+    def test_overload_queues_then_rejects(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                out = []
+                for _ in range(6):
+                    _, _, body = await http_request(
+                        server.port, "POST", "/v1/admit", _set(u=0.8)
+                    )
+                    out.append(body["status"])
+                return out
+
+        statuses = run_async(scenario())
+        assert statuses[0] == "admitted"
+        assert "queued" in statuses and statuses[-1] == "rejected"
+
+    def test_invalid_taskset_is_400(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                return await http_request(
+                    server.port, "POST", "/v1/admit",
+                    {"tasks": [[1.0, "soon"]]},
+                )
+
+        status, _, body = run_async(scenario())
+        assert status == 400
+        assert body["error"] == "validation"
+        assert body["details"][0]["field"] == "tasks[0].period"
+
+
+class TestDepart:
+    def test_depart_frees_capacity_and_readmits(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                port = server.port
+                _, _, big = await http_request(
+                    port, "POST", "/v1/admit", _set(u=1.2, n=6)
+                )
+                _, _, queued = await http_request(
+                    port, "POST", "/v1/admit", _set(u=0.9, n=4)
+                )
+                status, _, gone = await http_request(
+                    port, "POST", "/v1/depart", {"tenant": big["tenant"]}
+                )
+                _, _, snap = await http_request(port, "GET", "/v1/cluster")
+                return queued, status, gone, snap
+
+        queued, status, gone, snap = run_async(scenario())
+        assert queued["status"] == "queued"
+        assert status == 200 and gone["status"] == "departed"
+        assert [r["tenant"] for r in gone["readmitted"]] == [
+            queued["tenant"]
+        ]
+        assert snap["residents"] == [queued["tenant"]]
+
+    def test_unknown_tenant_is_404(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                return await http_request(
+                    server.port, "POST", "/v1/depart", {"tenant": 42}
+                )
+
+        status, _, body = run_async(scenario())
+        assert status == 404
+        assert body["status"] == "unknown"
+
+    def test_non_integer_tenant_is_400(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                results = []
+                for tenant in ("zero", True, None):
+                    results.append(await http_request(
+                        server.port, "POST", "/v1/depart",
+                        {"tenant": tenant},
+                    ))
+                return results
+
+        for status, _, _ in run_async(scenario()):
+            assert status == 400
+
+    def test_wrong_method_is_405(self):
+        async def scenario():
+            async with running_server(**CLUSTER_KWARGS) as server:
+                return await http_request(server.port, "GET", "/v1/depart")
+
+        status, _, _ = run_async(scenario())
+        assert status == 405
+
+
+class TestModeGating:
+    def test_cluster_routes_404_when_mode_off(self):
+        async def scenario():
+            async with running_server() as server:
+                depart = await http_request(
+                    server.port, "POST", "/v1/depart", {"tenant": 0}
+                )
+                snap = await http_request(server.port, "GET", "/v1/cluster")
+                return depart, snap
+
+        (s1, _, b1), (s2, _, b2) = run_async(scenario())
+        assert s1 == 404 and s2 == 404
+        assert b1["error"] == "cluster mode disabled"
+        assert b2["error"] == "cluster mode disabled"
+
+    def test_plain_admit_stays_stateless_when_mode_off(self, tasks_payload):
+        async def scenario():
+            async with running_server() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/admit",
+                    {"tasks": tasks_payload, "processors": 2},
+                )
+
+        status, _, body = run_async(scenario())
+        assert status == 200
+        assert "tenant" not in body
+        assert body["admitted"] is True
