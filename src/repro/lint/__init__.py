@@ -26,6 +26,7 @@ from repro.lint.framework import (
     rule,
 )
 from repro.lint import rules as _rules  # noqa: F401  (registers R1..R8)
+from repro.lint.flow import rules as _flow_rules  # noqa: F401  (R9..R13)
 
 __all__ = [
     "Diagnostic",

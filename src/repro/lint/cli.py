@@ -1,21 +1,37 @@
 """Command-line front end for ``repro.lint``.
 
 Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+Beyond the classic flags, the flow-analysis additions:
+
+* ``--format sarif`` — SARIF 2.1.0 with witness ``codeFlows`` (CI
+  artifact / code-scanning upload);
+* ``--explain CODE`` — print each finding for ``CODE`` followed by its
+  witness call path;
+* ``--changed`` — lint only files touched per ``git status`` (the
+  pre-commit fast path);
+* ``--cache PATH`` — persist per-file flow summaries (SHA-256 keyed)
+  through the result store so re-lints skip re-analysis of unchanged
+  files.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.lint.diagnostics import Diagnostic
 from repro.lint.framework import all_rules, lint_paths
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "changed_python_files", "main"]
 
 _DEFAULT_PATHS = ["src/repro"]
+_BENCH_BUDGET_SECONDS = 5.0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,9 +59,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print findings for CODE with their witness call paths",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed per git (status + diff vs HEAD)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="flow-summary cache location (sqlite result store)",
     )
     parser.add_argument(
         "--list-rules",
@@ -61,6 +94,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def changed_python_files(
+    roots: Sequence[str], repo_dir: Optional[str] = None
+) -> List[str]:
+    """Python files under ``roots`` that git reports as touched.
+
+    Covers staged, unstaged and untracked files (``git status
+    --porcelain``).  Returns paths relative to the current directory;
+    raises ``FileNotFoundError`` outside a git checkout.
+    """
+    proc = subprocess.run(
+        ["git", "status", "--porcelain", "--untracked-files=all"],
+        capture_output=True,
+        text=True,
+        cwd=repo_dir,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise FileNotFoundError(
+            f"git status failed: {proc.stderr.strip() or 'not a git checkout'}"
+        )
+    root_paths = [Path(r).resolve() for r in roots]
+    found: List[str] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        raw = line[3:].strip()
+        if " -> " in raw:  # rename: lint the new side
+            raw = raw.split(" -> ", 1)[1]
+        raw = raw.strip('"')
+        if not raw.endswith(".py"):
+            continue
+        path = (Path(repo_dir) if repo_dir else Path.cwd()) / raw
+        if not path.is_file():
+            continue  # deleted
+        resolved = path.resolve()
+        for root in root_paths:
+            if root == resolved or root in resolved.parents:
+                found.append(str(path))
+                break
+    return sorted(set(found))
+
+
+def _print_explained(code: str, diagnostics: Sequence[Diagnostic]) -> None:
+    matching = [d for d in diagnostics if d.code.upper() == code.upper()]
+    if not matching:
+        print(f"no {code.upper()} findings")
+        return
+    for diag in matching:
+        print(diag.format())
+        if diag.witness:
+            print("  witness call path:")
+            for step in diag.witness:
+                print(f"    {step}")
+        else:
+            print("  (lexical finding — no call path)")
+        print()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -69,15 +160,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{rule_obj.doc}")
         return 0
     paths: List[str] = list(args.paths) if args.paths else _DEFAULT_PATHS
+    select = list(args.select) if args.select else None
+    if args.explain and not select:
+        select = [args.explain]
+    if args.changed:
+        try:
+            paths = changed_python_files(paths)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("no changed python files")
+            return 0
     start = time.perf_counter()
     try:
-        diagnostics = lint_paths(paths, select=args.select, ignore=args.ignore)
+        diagnostics = lint_paths(
+            paths, select=select, ignore=args.ignore, flow_cache=args.cache
+        )
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - start
-    if args.format == "json":
+    if args.explain:
+        _print_explained(args.explain, diagnostics)
+    elif args.format == "json":
         print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        print(json.dumps(to_sarif(diagnostics, all_rules()), indent=2))
     else:
         for diag in diagnostics:
             print(diag.format())
@@ -93,8 +204,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "rules": len(all_rules()),
             "diagnostics": len(diagnostics),
             "wall_seconds": round(elapsed, 4),
-            "budget_seconds": 2.0,
-            "within_budget": elapsed < 2.0,
+            "budget_seconds": _BENCH_BUDGET_SECONDS,
+            "within_budget": elapsed < _BENCH_BUDGET_SECONDS,
         }
         with open(args.bench_json, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2)

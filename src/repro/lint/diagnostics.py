@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
 
 __all__ = ["Diagnostic"]
 
 
 @dataclass(frozen=True, order=True)
 class Diagnostic:
-    """One finding: ``path:line:col: CODE[name] message``."""
+    """One finding: ``path:line:col: CODE[name] message``.
+
+    Interprocedural rules attach a ``witness`` call path — one
+    ``"path:line  label"`` step per hop — rendered by ``--explain`` and
+    exported as SARIF ``codeFlows``.  The witness is excluded from
+    ordering/equality so diagnostics still sort by location.
+    """
 
     path: str
     line: int
@@ -18,6 +24,7 @@ class Diagnostic:
     code: str
     name: str
     message: str
+    witness: Tuple[str, ...] = field(default=(), compare=False)
 
     def format(self) -> str:
         return (
@@ -26,7 +33,7 @@ class Diagnostic:
         )
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        record: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -34,3 +41,6 @@ class Diagnostic:
             "name": self.name,
             "message": self.message,
         }
+        if self.witness:
+            record["witness"] = list(self.witness)
+        return record

@@ -1,0 +1,149 @@
+"""Flow-lint benchmark: the ``BENCH_flow.json`` artifact generator.
+
+Measures the incremental flow path (:func:`repro.lint.flow.engine.
+flow_lint`) over ``src/repro`` twice against one summary cache:
+
+* **cold** — empty cache: every file is read, hashed, parsed and
+  summarized, then the project graph is built and R9–R13 run;
+* **warm** — same tree, populated cache: files are read and hashed but
+  *not parsed*; summaries come back from the result store in one
+  namespace query.
+
+The artifact commits the determinism-relevant facts exactly (file /
+function / edge / finding counts, hit/miss split, the ``>= MIN_SPEEDUP``
+verdict) and the noisy ones under drift-tolerant keys (``*_seconds``
+gets relative slack; ``speedups_vs_cold`` is ignored outright by the
+gate — the boolean carries the contract instead).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint.flow.bench_flow \
+        --out benchmarks/results/BENCH_flow.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.lint.flow.engine import FlowStats, flow_lint
+from repro.perf.telemetry import write_bench_json
+
+__all__ = ["MIN_SPEEDUP", "run_bench_flow", "main"]
+
+#: The incremental-mode contract from the flow-analysis spec: a warm
+#: re-lint of an unchanged tree must beat the cold run by this factor.
+MIN_SPEEDUP = 5.0
+
+_DEFAULT_PATHS = ("src/repro",)
+
+
+def _leg_json(stats: FlowStats, findings: int) -> Dict[str, object]:
+    payload = stats.to_json()
+    payload["findings"] = findings
+    return payload
+
+
+def run_bench_flow(
+    *,
+    paths: Optional[List[str]] = None,
+    repeats: int = 3,
+    out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the cold/warm legs; optionally write the artifact.
+
+    The warm leg is repeated ``repeats`` times and the *best* wall time
+    is used for the speedup, damping scheduler noise on shared runners.
+    """
+    lint_paths = list(paths) if paths else list(_DEFAULT_PATHS)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = os.path.join(tmp, "flow-cache.db")
+
+        cold_diags, cold = flow_lint(lint_paths, cache_path=cache)
+        if cold.cache_hits != 0:
+            raise RuntimeError("cold leg hit a supposedly fresh cache")
+
+        warm_walls: List[float] = []
+        warm_diags, warm = cold_diags, cold
+        for _ in range(max(1, repeats)):
+            from repro.lint.flow import engine as _engine
+
+            _engine._MEMO.clear()  # measure the cache, not the memo
+            warm_diags, warm = flow_lint(lint_paths, cache_path=cache)
+            warm_walls.append(warm.wall_seconds)
+        if warm.cache_misses != 0:
+            raise RuntimeError("warm leg missed the cache on an "
+                               "unchanged tree")
+        if sorted(warm_diags) != sorted(cold_diags):
+            raise RuntimeError("warm findings diverged from cold findings")
+
+    best_warm = min(warm_walls)
+    speedup = cold.wall_seconds / best_warm if best_warm > 0 else float("inf")
+    report: Dict[str, object] = {
+        "kind": "flow_bench",
+        "config": {
+            "paths": lint_paths,
+            "repeats": max(1, repeats),
+            "rules": ["R9", "R10", "R11", "R12", "R13"],
+            "min_speedup": MIN_SPEEDUP,
+        },
+        "graph": {
+            "files": cold.files,
+            "functions": cold.functions,
+            "edges": cold.edges,
+        },
+        "cold": _leg_json(cold, len(cold_diags)),
+        "warm": _leg_json(warm, len(warm_diags)),
+        "timing": {
+            "cold_wall_seconds": round(cold.wall_seconds, 4),
+            "warm_wall_seconds_best": round(best_warm, 4),
+            "speedups_vs_cold": round(speedup, 2),
+        },
+        "warm_speedup_ok": speedup >= MIN_SPEEDUP,
+        "findings_identical": True,  # enforced above
+    }
+    if out:
+        write_bench_json(out, report)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.flow.bench_flow",
+        description="Benchmark the incremental flow lint (cold vs warm "
+        "summary cache).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="paths to lint (default: src/repro)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="warm-leg repetitions (best time wins)")
+    parser.add_argument("--out", default=None,
+                        help="write the artifact here (e.g. "
+                        "benchmarks/results/BENCH_flow.json)")
+    args = parser.parse_args(argv)
+    report = run_bench_flow(
+        paths=args.paths or None, repeats=args.repeats, out=args.out
+    )
+    graph = report["graph"]
+    timing = report["timing"]
+    assert isinstance(graph, dict) and isinstance(timing, dict)
+    print(
+        f"graph: {graph['files']} files, {graph['functions']} functions, "
+        f"{graph['edges']} edges"
+    )
+    print(
+        f"cold {timing['cold_wall_seconds']}s, warm (best) "
+        f"{timing['warm_wall_seconds_best']}s -> "
+        f"{timing['speedups_vs_cold']}x "
+        f"({'ok' if report['warm_speedup_ok'] else 'BELOW BUDGET'}, "
+        f"min {MIN_SPEEDUP}x)"
+    )
+    if args.out:
+        print(f"report written to {args.out}")
+    return 0 if report["warm_speedup_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,523 @@
+"""Project-wide symbol table and call graph built from flow summaries.
+
+Names are resolved conservatively: an edge is only added when the callee
+resolves to a function the linted tree actually defines.  In particular
+attribute-method calls (``x.get(...)``) resolve **only through typed
+receivers** — ``self`` attributes with recorded constructor types,
+locals bound to constructors, annotated parameters — so a dict's
+``.get`` never aliases to :meth:`ResultStore.get`.  Unknown receivers
+produce no edge; the flow rules trade recall for near-zero false
+linking.
+
+Edge kinds:
+
+``call``
+    ordinary synchronous call (includes constructor → ``__init__``);
+``registry``
+    fan-out through a registry dispatch (``PARTITIONERS[k](...)``,
+    argparse ``args.func(args)``) to every registered target;
+``ref``
+    a function object passed as an argument (callbacks) — followed by
+    taint rules, **not** by the async-blocking rule (callbacks shipped
+    through helpers are routinely run in executors);
+``executor``
+    shipped through ``run_in_executor``/``to_thread``/thread-pool
+    ``submit`` — an explicit hop off the event loop;
+``fork``
+    a worker function shipped to the fork pool (``chunked_map`` /
+    ``ProcessPoolExecutor.submit``) — the roots of fork-safety checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.flow.summary import (
+    ARGPARSE_REGISTRY,
+    MODULE_SCOPE,
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+__all__ = ["Edge", "ProjectGraph", "build_graph"]
+
+_MAX_ALIAS_DEPTH = 12
+_MAX_BASE_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed call-graph edge anchored at a source line."""
+
+    src: str
+    dst: str
+    line: int
+    kind: str  # "call" | "registry" | "ref" | "executor" | "fork"
+
+
+@dataclass
+class ProjectGraph:
+    """Symbol table + call graph over every linted module."""
+
+    modules: Dict[str, ModuleSummary] = field(default_factory=dict)
+    displays: Dict[str, str] = field(default_factory=dict)  # module -> path
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    fn_module: Dict[str, str] = field(default_factory=dict)
+    out_edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    in_edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    # absolute registry id -> [(key, target fqn, line, module)]
+    registries: Dict[str, List[Tuple[str, str, int, str]]] = field(
+        default_factory=dict
+    )
+    resolver: Optional["_Resolver"] = None
+
+    # -- lookups -----------------------------------------------------------
+
+    def display_of(self, fqn: str) -> str:
+        module = self.fn_module.get(fqn, "")
+        return self.displays.get(module, module)
+
+    def location_of(self, fqn: str) -> Tuple[str, int]:
+        fs = self.functions.get(fqn)
+        return self.display_of(fqn), fs.line if fs is not None else 1
+
+    def entry_points(self) -> List[str]:
+        """``python -m`` style roots: module bodies of entry modules."""
+        roots: List[str] = []
+        for module, summary in self.modules.items():
+            if summary.is_entry:
+                fqn = f"{module}.{MODULE_SCOPE}"
+                if fqn in self.functions:
+                    roots.append(fqn)
+        return sorted(roots)
+
+    def fork_roots(self) -> List[str]:
+        """Functions shipped to the fork pool (targets of ``fork`` edges)."""
+        roots = {
+            edge.dst
+            for edges in self.out_edges.values()
+            for edge in edges
+            if edge.kind == "fork"
+        }
+        return sorted(roots)
+
+    # -- traversal ---------------------------------------------------------
+
+    def reach(
+        self,
+        roots: Sequence[str],
+        kinds: Iterable[str],
+        stop_kinds: Iterable[str] = (),
+    ) -> Dict[str, Optional[Edge]]:
+        """BFS over edges of the given kinds; returns reached fqn ->
+        incoming edge (``None`` for roots), suitable for shortest witness
+        reconstruction.  Edges in ``stop_kinds`` are never followed."""
+        wanted = set(kinds)
+        stops = set(stop_kinds)
+        parents: Dict[str, Optional[Edge]] = {}
+        queue: Deque[str] = deque()
+        for root in roots:
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for edge in self.out_edges.get(current, []):
+                if edge.kind in stops or edge.kind not in wanted:
+                    continue
+                if edge.dst in parents:
+                    continue
+                parents[edge.dst] = edge
+                queue.append(edge.dst)
+        return parents
+
+    def reverse_reach(
+        self, roots: Sequence[str], kinds: Iterable[str]
+    ) -> Set[str]:
+        """All functions that can reach one of ``roots`` via edge kinds."""
+        wanted = set(kinds)
+        seen: Set[str] = {r for r in roots if r in self.functions}
+        queue: Deque[str] = deque(seen)
+        while queue:
+            current = queue.popleft()
+            for edge in self.in_edges.get(current, []):
+                if edge.kind not in wanted or edge.src in seen:
+                    continue
+                seen.add(edge.src)
+                queue.append(edge.src)
+        return seen
+
+    def witness(
+        self, parents: Dict[str, Optional[Edge]], target: str
+    ) -> List[Edge]:
+        """Edge chain root → ``target`` from a :meth:`reach` parent map."""
+        chain: List[Edge] = []
+        current = target
+        while True:
+            edge = parents.get(current)
+            if edge is None:
+                break
+            chain.append(edge)
+            current = edge.src
+        chain.reverse()
+        return chain
+
+
+class _Resolver:
+    """Alias/type-aware name resolution over the symbol table."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+
+    # -- module-level alias expansion --------------------------------------
+
+    def _import_target(self, module: ModuleSummary, local: str) -> Optional[str]:
+        """Absolute dotted target of a local imported/aliased name."""
+        seen: Set[str] = set()
+        current_module = module
+        name = local
+        suffix: List[str] = []
+        for _ in range(_MAX_ALIAS_DEPTH):
+            record = current_module.imports.get(name)
+            if record is None:
+                return None
+            level, from_mod, orig = record
+            if level > 0:
+                base_parts = current_module.rel_base.split(".")
+                base_parts = base_parts[: len(base_parts) - (level - 1)]
+                from_abs = ".".join(p for p in base_parts if p)
+                if from_mod:
+                    from_abs = f"{from_abs}.{from_mod}" if from_abs else from_mod
+            else:
+                from_abs = from_mod
+            dotted = f"{from_abs}.{orig}" if from_abs else orig
+            # module-level alias to another local name (A = B)?
+            head = dotted.split(".")[0]
+            if (
+                not from_abs
+                and head in current_module.imports
+                and head not in seen
+            ):
+                seen.add(name)
+                suffix = dotted.split(".")[1:] + suffix
+                name = head
+                continue
+            return ".".join([dotted] + suffix)
+        return None
+
+    def resolve_absolute(self, dotted: str) -> List[str]:
+        """Resolve an absolute dotted name to defined function fqns."""
+        parts = dotted.split(".")
+        # Longest known-module prefix wins; re-exports recurse.
+        for cut in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:cut])
+            module = self.graph.modules.get(module_name)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            return self._resolve_in_module(module, rest)
+        return []
+
+    def _resolve_in_module(
+        self, module: ModuleSummary, rest: List[str], depth: int = 0
+    ) -> List[str]:
+        if not rest or depth > _MAX_ALIAS_DEPTH:
+            return []
+        head = rest[0]
+        # plain function (or nested scope path like outer.inner)
+        candidate = ".".join(rest)
+        if candidate in module.functions:
+            return [f"{module.module}.{candidate}"]
+        if head in module.functions and len(rest) == 1:
+            return [f"{module.module}.{head}"]
+        # class: constructor or method
+        if head in module.classes:
+            if len(rest) == 1:
+                return self._constructor(module.module, head)
+            if len(rest) == 2:
+                return self.resolve_method([f"{module.module}.{head}"], rest[1])
+        # re-export through an import
+        target = self._import_target(module, head)
+        if target is not None:
+            return self.resolve_absolute(".".join([target] + rest[1:]))
+        return []
+
+    def _constructor(self, module_name: str, cls: str) -> List[str]:
+        init = f"{module_name}.{cls}.__init__"
+        if init in self.graph.functions:
+            return [init]
+        # dataclasses etc. — fall back to any __post_init__
+        post = f"{module_name}.{cls}.__post_init__"
+        if post in self.graph.functions:
+            return [post]
+        return []
+
+    # -- class / receiver typing -------------------------------------------
+
+    def resolve_class(self, module: ModuleSummary, name: str) -> List[str]:
+        """Class name (as written in ``module``) -> class fqns."""
+        leaf = name.split(".")[-1]
+        if leaf in module.classes and name == leaf:
+            return [f"{module.module}.{leaf}"]
+        # imported / dotted class reference
+        head = name.split(".")[0]
+        target = self._import_target(module, head)
+        if target is not None:
+            dotted = ".".join([target] + name.split(".")[1:])
+            return self._class_fqn_of(dotted)
+        return self._class_fqn_of(name)
+
+    def _class_fqn_of(self, dotted: str) -> List[str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:cut])
+            module = self.graph.modules.get(module_name)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                if rest[0] in module.classes:
+                    return [f"{module_name}.{rest[0]}"]
+                target = self._import_target(module, rest[0])
+                if target is not None:
+                    return self._class_fqn_of(target)
+            return []
+        return []
+
+    def _class_info(self, class_fqn: str) -> Optional[Tuple[ModuleSummary, str]]:
+        module_name, _, cls = class_fqn.rpartition(".")
+        module = self.graph.modules.get(module_name)
+        if module is not None and cls in module.classes:
+            return module, cls
+        return None
+
+    def _attr_classes(self, class_fqns: List[str], attr: str) -> List[str]:
+        """Classes of ``<instance of class_fqns>.attr`` via recorded types."""
+        found: List[str] = []
+        for class_fqn in class_fqns:
+            for current in self._mro(class_fqn):
+                info = self._class_info(current)
+                if info is None:
+                    continue
+                module, cls = info
+                for type_name in module.classes[cls].attr_types.get(attr, ()):
+                    found.extend(self.resolve_class(module, type_name))
+        return list(dict.fromkeys(found))
+
+    def _mro(self, class_fqn: str) -> List[str]:
+        """The class plus its resolvable base chain (bounded depth)."""
+        order = [class_fqn]
+        frontier = [class_fqn]
+        for _ in range(_MAX_BASE_DEPTH):
+            next_frontier: List[str] = []
+            for current in frontier:
+                info = self._class_info(current)
+                if info is None:
+                    continue
+                module, cls = info
+                for base in module.classes[cls].bases:
+                    for base_fqn in self.resolve_class(module, base):
+                        if base_fqn not in order:
+                            order.append(base_fqn)
+                            next_frontier.append(base_fqn)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return order
+
+    def resolve_method(self, class_fqns: List[str], method: str) -> List[str]:
+        found: List[str] = []
+        for class_fqn in class_fqns:
+            for current in self._mro(class_fqn):
+                info = self._class_info(current)
+                if info is None:
+                    continue
+                module, cls = info
+                if method in module.classes[cls].methods:
+                    found.append(f"{module.module}.{cls}.{method}")
+                    break
+        return list(dict.fromkeys(found))
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(
+        self, module: ModuleSummary, fn: FunctionSummary, dotted: str
+    ) -> List[str]:
+        """Resolve a dotted callee as written inside ``fn`` to fqns."""
+        parts = dotted.split(".")
+        head = parts[0]
+        classes: List[str] = []
+        # self/cls: enclosing class, then typed attribute chain
+        if head in ("self", "cls") and fn.cls:
+            classes = self.resolve_class(module, fn.cls)
+            return self._chain(classes, parts[1:])
+        # typed local / parameter
+        if head in fn.var_types:
+            for type_name in fn.var_types[head]:
+                classes.extend(self.resolve_class(module, type_name))
+            resolved = self._chain(classes, parts[1:])
+            if resolved:
+                return resolved
+        # typed module-level global (X = C() at module scope)
+        if head in module.global_types:
+            classes = []
+            for type_name in module.global_types[head]:
+                classes.extend(self.resolve_class(module, type_name))
+            resolved = self._chain(classes, parts[1:])
+            if resolved:
+                return resolved
+        # nested function of the current scope: inner() inside outer
+        if len(parts) == 1:
+            nested = f"{fn.name}.{head}"
+            if nested in module.functions:
+                return [f"{module.module}.{nested}"]
+            if head in module.functions:
+                return [f"{module.module}.{head}"]
+            if head in module.classes:
+                return self._constructor(module.module, head)
+        # imported name / local module alias
+        target = self._import_target(module, head)
+        if target is not None:
+            return self.resolve_absolute(".".join([target] + parts[1:]))
+        # module-local dotted access (Class.method as unbound ref)
+        if head in module.classes and len(parts) == 2:
+            return self.resolve_method([f"{module.module}.{head}"], parts[1])
+        return []
+
+    def _chain(self, classes: List[str], rest: List[str]) -> List[str]:
+        """Walk ``<classes>.a.b.method`` through typed attributes."""
+        if not rest:
+            # bare constructor-typed reference used as a callable
+            return []
+        current = classes
+        for attr in rest[:-1]:
+            current = self._attr_classes(current, attr)
+            if not current:
+                return []
+        return self.resolve_method(current, rest[-1])
+
+    def import_origin_module(self, module: ModuleSummary, name: str) -> str:
+        """Module a local name was imported from ("" when module-local)."""
+        target = self._import_target(module, name)
+        if target is None:
+            return ""
+        return target.rpartition(".")[0]
+
+    def registry_id(self, module: ModuleSummary, local: str) -> str:
+        """Absolute identity of a registry name as seen from ``module``."""
+        if local == ARGPARSE_REGISTRY:
+            return f"{module.module}.{ARGPARSE_REGISTRY}"
+        head = local.split(".")[0]
+        target = self._import_target(module, head)
+        if target is not None:
+            return ".".join([target] + local.split(".")[1:])
+        return f"{module.module}.{local}"
+
+
+def build_graph(
+    summaries: Sequence[ModuleSummary], displays: Dict[str, str]
+) -> ProjectGraph:
+    """Assemble the project call graph from per-module summaries."""
+    graph = ProjectGraph()
+    graph.displays = dict(displays)
+    for summary in summaries:
+        graph.modules[summary.module] = summary
+    for summary in summaries:
+        for name, fs in summary.functions.items():
+            fqn = f"{summary.module}.{name}"
+            graph.functions[fqn] = fs
+            graph.fn_module[fqn] = summary.module
+    resolver = _Resolver(graph)
+
+    # registries first: dispatch edges fan out to registered targets
+    for summary in summaries:
+        for reg in summary.registrations:
+            reg_id = resolver.registry_id(summary, reg.registry)
+            if reg.target.startswith(MODULE_SCOPE):
+                targets = [f"{summary.module}.{reg.target}"]
+            else:
+                targets = resolver.resolve_call(
+                    summary,
+                    summary.functions[MODULE_SCOPE],
+                    reg.target,
+                )
+            for target in targets:
+                graph.registries.setdefault(reg_id, []).append(
+                    (reg.key, target, reg.line, summary.module)
+                )
+
+    def add_edge(src: str, dst: str, line: int, kind: str) -> None:
+        if dst not in graph.functions or dst == src:
+            return
+        edge = Edge(src, dst, line, kind)
+        graph.out_edges.setdefault(src, []).append(edge)
+        graph.in_edges.setdefault(dst, []).append(edge)
+
+    for summary in summaries:
+        for name, fs in summary.functions.items():
+            src = f"{summary.module}.{name}"
+            for call in fs.calls:
+                _add_call_edges(graph, resolver, summary, fs, src, call, add_edge)
+    graph.resolver = resolver
+    return graph
+
+
+def _add_call_edges(
+    graph: ProjectGraph,
+    resolver: _Resolver,
+    summary: ModuleSummary,
+    fs: FunctionSummary,
+    src: str,
+    call: CallSite,
+    add_edge: Callable[[str, str, int, str], None],
+) -> None:
+    def resolve_ref(ref: str) -> List[str]:
+        if "<lambda:" in ref:
+            fqn = f"{summary.module}.{ref}"
+            return [fqn] if fqn in graph.functions else []
+        return resolver.resolve_call(summary, fs, ref)
+
+    if call.kind == "registry":
+        reg_id = resolver.registry_id(summary, call.callee)
+        for _key, target, _line, _mod in graph.registries.get(reg_id, []):
+            add_edge(src, target, call.line, "registry")
+        return
+    if call.kind in ("executor", "fork"):
+        for ref in call.refs:
+            for target in resolve_ref(ref):
+                add_edge(src, target, call.line, call.kind)
+        return
+    if call.kind == "submit":
+        # ProcessPoolExecutor.submit forks; thread pools are executor hops.
+        kind = "executor"
+        receiver_types: List[str] = []
+        head = call.receiver.split(".")[0] if call.receiver else ""
+        for type_name in fs.var_types.get(head, ()):
+            receiver_types.append(type_name)
+        for type_name in summary.global_types.get(head, ()):
+            receiver_types.append(type_name)
+        if any("ProcessPool" in t for t in receiver_types):
+            kind = "fork"
+        for ref in call.refs:
+            for target in resolve_ref(ref):
+                add_edge(src, target, call.line, kind)
+        return
+    # plain call
+    for target in resolver.resolve_call(summary, fs, call.callee):
+        add_edge(src, target, call.line, "call")
+    for ref in call.refs:
+        for target in resolve_ref(ref):
+            add_edge(src, target, call.line, "ref")

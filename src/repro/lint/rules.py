@@ -677,6 +677,7 @@ _R8_EXEMPT_SUFFIXES = (
     "obs/cli.py",
     "perf/bench_check.py",
     "cluster/bench_churn.py",
+    "lint/flow/bench_flow.py",
 )
 
 

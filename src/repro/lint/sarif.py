@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 export for lint diagnostics.
+
+One ``run`` with the full rule catalog; each diagnostic becomes a
+``result`` and an interprocedural witness path (when present) becomes a
+``codeFlow`` whose steps carry physical locations parsed back out of the
+``"path:line  label"`` witness format.  The output validates against the
+sarif-2.1.0 schema and uploads cleanly as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import Rule
+
+__all__ = ["to_sarif"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_STEP_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+)\s+(?P<label>.*)$")
+
+
+def _location(path: str, line: int, col: int = 1) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+
+
+def _code_flow(witness: Sequence[str]) -> Dict[str, Any]:
+    steps: List[Dict[str, Any]] = []
+    for step in witness:
+        match = _STEP_RE.match(step)
+        if match is None:
+            continue
+        location = _location(match.group("path"), int(match.group("line")))
+        location["message"] = {"text": match.group("label")}
+        steps.append({"location": location})
+    return {"threadFlows": [{"locations": steps}]}
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic], rules: Sequence[Rule]
+) -> Dict[str, Any]:
+    """Build the SARIF document for one lint run."""
+    rule_index = {r.code: i for i, r in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for diag in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.code,
+            "ruleIndex": rule_index.get(diag.code, -1),
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [_location(diag.path, diag.line, diag.col)],
+        }
+        if diag.witness:
+            result["codeFlows"] = [_code_flow(diag.witness)]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": [
+                            {
+                                "id": r.code,
+                                "name": r.name,
+                                "shortDescription": {"text": r.doc or r.name},
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -406,7 +406,9 @@ class AdmissionServer:
         if route == ("GET", "/metrics"):
             if request.params.get("format") == "prometheus":
                 return 200, self.metrics_prometheus(), None
-            return 200, self.metrics_body(), None
+            # Tier stats hit the sqlite back store; keep that off the loop.
+            cache_stats = await self._offload(self.service.cache.stats)
+            return 200, self.metrics_body(cache_stats), None
         if route == ("POST", "/v1/admit"):
             if self.cluster is not None:
                 return await self._handle_cluster_admit(request)
@@ -465,10 +467,23 @@ class AdmissionServer:
             COUNTERS.svc_timeouts += 1
             return fallback(), True
 
+    async def _offload(self, fn, *args):
+        """Run a cache/store touch in the worker pool (R9 discipline).
+
+        The tiered cache's back store is sqlite: ``get``/``put``/``stats``
+        do point reads and commits that stall every open connection when
+        run on the event loop.  Every handler-side cache touch goes
+        through this hop; only pure in-memory state may stay loop-side.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: fn(*args)
+        )
+
     async def _handle_admit(self, request: _Request):
         payload = self._parse_json(request)
         admit_request, key = self.service.prepare_admit(payload)
-        found, cached = self.service.cache.get(key)
+        found, cached = await self._offload(self.service.cache.get, key)
         if found:
             return 200, cached, {"X-Repro-Cache": "hit"}
         body, degraded = await self._run_with_deadline(
@@ -476,13 +491,13 @@ class AdmissionServer:
             lambda: self.service.degraded_admit(admit_request),
         )
         if not degraded:
-            self.service.cache.put(key, body)
+            await self._offload(self.service.cache.put, key, body)
         return 200, body, {"X-Repro-Cache": "miss"}
 
     async def _handle_bounds(self, request: _Request):
         payload = self._parse_json(request)
         bounds_request, key = self.service.prepare_bounds(payload)
-        found, cached = self.service.cache.get(key)
+        found, cached = await self._offload(self.service.cache.get, key)
         if found:
             return 200, cached, {"X-Repro-Cache": "hit"}
         body, degraded = await self._run_with_deadline(
@@ -490,12 +505,13 @@ class AdmissionServer:
             lambda: {"error": "deadline", "degraded": True},
         )
         if not degraded:
-            self.service.cache.put(key, body)
+            await self._offload(self.service.cache.put, key, body)
         return 200, body, {"X-Repro-Cache": "miss"}
 
     async def _handle_batch(self, request: _Request):
         payload = self._parse_json(request)
-        plan = self.service.prepare_batch(payload)
+        # prepare_batch probes the cache per item — worker pool, not loop.
+        plan = await self._offload(self.service.prepare_batch, payload)
         pending = len(plan.pending_indices())
         # Deadline scales with the amount of uncached work in the batch.
         deadline = self.config.analysis_timeout * max(1, pending)
@@ -567,8 +583,13 @@ class AdmissionServer:
             "queue_limit": self.config.queue_limit,
         }
 
-    def metrics_body(self) -> Dict[str, object]:
-        """The ``/metrics`` JSON document."""
+    def metrics_body(self, cache_stats: Dict[str, object]) -> Dict[str, object]:
+        """The ``/metrics`` JSON document.
+
+        ``cache_stats`` must be pre-fetched by the caller *off the event
+        loop* — the tiered cache's stats read the sqlite back store, so
+        this body builder deliberately cannot reach the cache itself.
+        """
         return {
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "inflight": self._inflight,
@@ -580,7 +601,7 @@ class AdmissionServer:
                 "by_endpoint": dict(sorted(self.stats.by_endpoint.items())),
             },
             "latency_ms": self.stats.latency_percentiles(),
-            "cache": self.service.cache.stats(),
+            "cache": cache_stats,
             "degraded_total": COUNTERS.svc_degraded,
             "timeouts_total": COUNTERS.svc_timeouts,
             "backpressure_total": COUNTERS.svc_backpressure,

@@ -24,6 +24,10 @@ LINT_CMD = "PYTHONPATH=src python -m repro lint"
 MYPY_CMD = "mypy --config-file pyproject.toml"
 PERF_SMOKE_CMD = "PYTHONPATH=src python -m pytest -q -m perf_smoke"
 DRIFT_CMD = "python scripts/check_bench_drift.py"
+FLOW_BENCH_CMD = "python -m repro.lint.flow.bench_flow"
+LINT_BENCH_CMD = (
+    "PYTHONPATH=src python -m repro lint --bench-json fresh/BENCH_lint.json"
+)
 
 
 def test_workflow_files_exist():
@@ -52,6 +56,49 @@ def test_ci_triggers_on_push_and_pull_request():
     text = CI.read_text()
     assert "pull_request" in text
     assert "push" in text
+
+
+def test_ci_flow_job_gates_and_uploads_sarif():
+    text = CI.read_text()
+    assert "flow:" in text, "CI must have a dedicated flow-analysis job"
+    for code in ("R9", "R10", "R11", "R12", "R13"):
+        assert f"--select {code}" in text
+    assert "--format sarif" in text
+    assert "actions/upload-artifact@v4" in text
+    assert "flow.sarif" in text
+
+
+def test_nightly_regenerates_lint_and_flow_benchmarks():
+    text = NIGHTLY.read_text()
+    assert LINT_BENCH_CMD in text
+    assert FLOW_BENCH_CMD in text
+    assert "--out fresh/BENCH_flow.json" in text
+
+
+def test_nightly_flow_params_match_committed_flow_config():
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_flow.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_flow.json")
+    config = json.loads(artifact.read_text())["config"]
+    flow_line = next(
+        line for line in NIGHTLY.read_text().splitlines()
+        if FLOW_BENCH_CMD in line
+    )
+    assert f"--repeats {config['repeats']}" in flow_line
+
+
+def test_committed_flow_benchmark_meets_the_speedup_contract():
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_flow.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_flow.json")
+    payload = json.loads(artifact.read_text())
+    assert payload["warm_speedup_ok"] is True
+    assert payload["config"]["min_speedup"] >= 5.0
+    assert payload["warm"]["cache_misses"] == 0
 
 
 def test_nightly_regenerates_benchmarks_with_baseline_parameters():

@@ -1,0 +1,1 @@
+"""R10 fixture package: entropy flowing into durable artifacts."""

@@ -1,0 +1,15 @@
+"""Entropy sources for the R10 fixture, one hop away from the writers."""
+
+import os
+
+
+def jitter():
+    return os.urandom(8).hex()  # the entropy source
+
+
+def stamped():
+    return {"nonce": jitter()}
+
+
+def fixed():
+    return {"nonce": "0" * 16}

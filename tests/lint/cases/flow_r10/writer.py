@@ -1,0 +1,24 @@
+"""Artifact writers: two tainted sinks, one clean, one suppressed."""
+
+from flow_r10.entropy import fixed, stamped
+
+
+def write_bench_json(path, payload):
+    raise NotImplementedError  # stand-in leaf; sink detection is by name
+
+
+def write_report(path):
+    payload = stamped()
+    write_bench_json(path, payload)  # expect: R10
+
+
+def journal_nonce(store):
+    store.put("nonce", stamped())  # expect: R10
+
+
+def write_fixed_report(path):
+    write_bench_json(path, fixed())
+
+
+def write_suppressed(path):
+    write_bench_json(path, stamped())  # repro-lint: disable=R10

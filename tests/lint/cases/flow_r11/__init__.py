@@ -1,0 +1,1 @@
+"""R11 fixture package: fork-pool workers mutating module globals."""

@@ -1,0 +1,15 @@
+"""Fork-pool drivers establishing the worker roots."""
+
+from flow_r11.worker import quiet_item, safe_item, work_item
+
+
+def run_all(pool, items):
+    return pool.chunked_map(work_item, items)
+
+
+def run_quiet(pool, items):
+    return pool.chunked_map(quiet_item, items)
+
+
+def run_safe(pool, items):
+    return pool.chunked_map(safe_item, items)

@@ -1,0 +1,31 @@
+"""Worker functions: unsanctioned global mutations vs the delta protocol."""
+
+RESULTS = {}
+_SEEN = []
+COUNTERS = {}
+
+
+def work_item(item):
+    RESULTS[item] = item * 2  # expect: R11
+    _tally(item)
+    count_item(item)
+    return item
+
+
+def _tally(item):
+    _SEEN.append(item)  # expect: R11
+
+
+def count_item(item):
+    COUNTERS["items"] = COUNTERS.get("items", 0) + 1  # sanctioned root
+
+
+def quiet_item(item):
+    RESULTS[item] = 0  # repro-lint: disable=R11
+    return item
+
+
+def safe_item(item):
+    local = {}
+    local[item] = item * 2
+    return local

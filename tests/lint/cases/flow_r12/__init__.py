@@ -1,0 +1,1 @@
+"""R12 fixture package: handlers transitively swallowing invariants."""

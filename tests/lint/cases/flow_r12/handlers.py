@@ -1,0 +1,45 @@
+"""The catching side of the R12 fixture: swallowers vs observers."""
+
+from flow_r12.invariants import deep_check, harmless
+
+
+def lenient(value):
+    try:
+        return deep_check(value)
+    except Exception:  # expect: R12
+        return None
+
+
+def swallows_assert(value):
+    try:
+        return deep_check(value)
+    except AssertionError:  # expect: R12
+        return None
+
+
+def observant(value):
+    try:
+        return deep_check(value)
+    except Exception as exc:
+        return {"error": str(exc)}
+
+
+def reraises_assert(value):
+    try:
+        return deep_check(value)
+    except AssertionError:
+        raise
+
+
+def harmless_broad(value):
+    try:
+        return harmless(value)
+    except Exception:
+        return None
+
+
+def suppressed(value):
+    try:
+        return deep_check(value)
+    except Exception:  # repro-lint: disable=R12
+        return None

@@ -1,0 +1,19 @@
+"""The raising side of the R12 fixture."""
+
+
+class InvariantViolation(AssertionError):
+    pass
+
+
+def check_state(value):
+    if value < 0:
+        raise InvariantViolation("negative utilization")
+    return value
+
+
+def deep_check(value):
+    return check_state(value)
+
+
+def harmless(value):
+    return value + 1

@@ -1,0 +1,1 @@
+"""R13 fixture package: registration/dispatch drift."""

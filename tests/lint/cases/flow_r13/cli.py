@@ -1,0 +1,15 @@
+"""argv[0] early dispatch vs the argparse subcommand catalog."""
+
+import argparse
+
+
+def build(argv):
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("run")
+    sub.add_parser("check")
+    if argv and argv[0] == "migrate":  # expect: R13
+        return None
+    if argv and argv[0] == "run":
+        return parser
+    return parser

@@ -1,0 +1,31 @@
+"""ALL-CAPS registry with one unknown dispatch key and one suppressed."""
+
+
+def fit_first(x):
+    return x
+
+
+def fit_best(x):
+    return x
+
+
+PARTITIONERS = {
+    "first": fit_first,
+    "best": fit_best,
+}
+
+PARTITIONERS["worst"] = fit_best
+
+
+def dispatch(name, x):
+    if name == "decreasing":
+        return PARTITIONERS["decreasing"](x)  # expect: R13
+    return PARTITIONERS["first"](x)
+
+
+def dispatch_known(x):
+    return PARTITIONERS["worst"](x)
+
+
+def dispatch_suppressed(x):
+    return PARTITIONERS["legacy"](x)  # repro-lint: disable=R13

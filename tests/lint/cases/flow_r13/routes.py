@@ -1,0 +1,16 @@
+"""HTTP route dispatch vs the known-paths fallback tuple.
+
+``/metrics`` is dispatched but missing from the fallback (405 becomes
+404); ``/old`` is listed in the fallback but never dispatched (dead
+route).  Both directions must be reported.
+"""
+
+
+def handle(request):
+    if (request.method, request.path) == ("GET", "/healthz"):
+        return 200
+    if (request.method, request.path) == ("GET", "/metrics"):  # expect: R13
+        return 200
+    if request.path in ("/healthz", "/old"):  # expect: R13
+        return 405
+    return 404

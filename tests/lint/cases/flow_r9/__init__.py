@@ -1,0 +1,1 @@
+"""R9 fixture package: transitive blocking reachable from async defs."""

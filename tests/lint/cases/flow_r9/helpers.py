@@ -1,0 +1,17 @@
+"""Sync helpers for the R9 fixture — the blocking leaf lives here."""
+
+import time
+
+
+def slow_helper():
+    time.sleep(0.1)  # the blocking leaf (lexically fine: not async)
+    return True
+
+
+def indirect():
+    return slow_helper()
+
+
+def offloaded_ok():
+    time.sleep(0.1)  # only ever reached through an executor hop
+    return True

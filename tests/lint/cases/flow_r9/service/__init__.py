@@ -1,0 +1,1 @@
+"""Async roots live under ``service/`` so R9 treats them as handlers."""

@@ -1,0 +1,23 @@
+"""Async handlers: two bad chains, one executor hop, one suppressed."""
+
+import asyncio
+
+from flow_r9.helpers import indirect, offloaded_ok, slow_helper
+
+
+async def handler_two_hops(request):
+    value = indirect()  # expect: R9
+    return value
+
+
+async def handler_one_hop(request):
+    return slow_helper()  # expect: R9
+
+
+async def handler_offloaded(request):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, offloaded_ok)
+
+
+async def handler_suppressed(request):
+    return indirect()  # repro-lint: disable=R9

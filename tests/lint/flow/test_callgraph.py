@@ -1,0 +1,269 @@
+"""Call-graph construction units: resolution, registries, roots, edges.
+
+Graphs are built straight from in-memory sources (``extract_module`` +
+``build_graph``) so every assertion pins one linking behaviour without
+touching the filesystem.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.flow.engine import module_name_for
+from repro.lint.flow.graph import build_graph
+from repro.lint.flow.summary import extract_module
+
+pytestmark = pytest.mark.lint
+
+
+def build(sources):
+    """``{module: source}`` -> ProjectGraph (rel_base = parent package)."""
+    summaries = []
+    displays = {}
+    for module, source in sources.items():
+        rel_base = module.rsplit(".", 1)[0] if "." in module else module
+        summaries.append(
+            extract_module(module, rel_base, ast.parse(source))
+        )
+        displays[module] = module.replace(".", "/") + ".py"
+    return build_graph(summaries, displays)
+
+
+def edges_of(graph, src):
+    return {(e.dst, e.kind) for e in graph.out_edges.get(src, [])}
+
+
+class TestPlainResolution:
+    def test_same_module_and_imported_calls_link(self):
+        graph = build({
+            "pkg.a": "def helper():\n    return 1\n\n"
+                     "def caller():\n    return helper()\n",
+            "pkg.b": "from pkg.a import helper\n\n"
+                     "def other():\n    return helper()\n",
+        })
+        assert ("pkg.a.helper", "call") in edges_of(graph, "pkg.a.caller")
+        assert ("pkg.a.helper", "call") in edges_of(graph, "pkg.b.other")
+
+    def test_typed_self_attribute_resolves_method(self):
+        graph = build({
+            "pkg.svc": (
+                "class Cache:\n"
+                "    def get(self, key):\n"
+                "        return key\n"
+                "\n"
+                "class Service:\n"
+                "    def __init__(self):\n"
+                "        self.cache = Cache()\n"
+                "    def lookup(self, key):\n"
+                "        return self.cache.get(key)\n"
+            ),
+        })
+        assert ("pkg.svc.Cache.get", "call") in edges_of(
+            graph, "pkg.svc.Service.lookup"
+        )
+
+    def test_untyped_receiver_never_aliases(self):
+        # A dict's .get must not link to any defined get method.
+        graph = build({
+            "pkg.svc": (
+                "class Cache:\n"
+                "    def get(self, key):\n"
+                "        return key\n"
+                "\n"
+                "def use_dict(d):\n"
+                "    return d.get('x')\n"
+            ),
+        })
+        assert edges_of(graph, "pkg.svc.use_dict") == set()
+
+    def test_constructor_call_links_to_init(self):
+        graph = build({
+            "pkg.svc": (
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self.data = {}\n"
+                "\n"
+                "def make():\n"
+                "    return Cache()\n"
+            ),
+        })
+        assert ("pkg.svc.Cache.__init__", "call") in edges_of(
+            graph, "pkg.svc.make"
+        )
+
+
+class TestRegistryDispatch:
+    def test_dispatch_fans_out_to_registered_targets(self):
+        graph = build({
+            "pkg.reg": (
+                "def first(x):\n    return x\n\n"
+                "def best(x):\n    return x\n\n"
+                "PARTITIONERS = {'first': first, 'best': best}\n\n"
+                "def run(name, x):\n"
+                "    return PARTITIONERS[name](x)\n"
+            ),
+        })
+        assert edges_of(graph, "pkg.reg.run") == {
+            ("pkg.reg.first", "registry"),
+            ("pkg.reg.best", "registry"),
+        }
+
+    def test_cross_module_registry_fans_out(self):
+        graph = build({
+            "pkg.reg": (
+                "def first(x):\n    return x\n\n"
+                "PARTITIONERS = {'first': first}\n"
+            ),
+            "pkg.use": (
+                "from pkg.reg import PARTITIONERS\n\n"
+                "def run(name, x):\n"
+                "    return PARTITIONERS[name](x)\n"
+            ),
+        })
+        assert ("pkg.reg.first", "registry") in edges_of(
+            graph, "pkg.use.run"
+        )
+
+    def test_argparse_func_dispatch(self):
+        graph = build({
+            "pkg.cli": (
+                "import argparse\n\n"
+                "def cmd_run(args):\n    return 0\n\n"
+                "def main(argv):\n"
+                "    parser = argparse.ArgumentParser()\n"
+                "    sub = parser.add_subparsers()\n"
+                "    p = sub.add_parser('run')\n"
+                "    p.set_defaults(func=cmd_run)\n"
+                "    args = parser.parse_args(argv)\n"
+                "    return args.func(args)\n"
+            ),
+        })
+        assert ("pkg.cli.cmd_run", "registry") in edges_of(
+            graph, "pkg.cli.main"
+        )
+
+
+class TestRoots:
+    def test_entry_points_from_main_guard_and_dunder_main(self):
+        graph = build({
+            "pkg.tool": (
+                "def main():\n    return 0\n\n"
+                "if __name__ == '__main__':\n"
+                "    main()\n"
+            ),
+            "pkg.__main__": "X = 1\n",
+            "pkg.plain": "Y = 2\n",
+        })
+        assert graph.entry_points() == [
+            "pkg.__main__.<module>",
+            "pkg.tool.<module>",
+        ]
+
+    def test_fork_roots_from_chunked_map_ref(self):
+        graph = build({
+            "pkg.run": (
+                "def work(item):\n    return item\n\n"
+                "def drive(pool, items):\n"
+                "    return pool.chunked_map(work, items)\n"
+            ),
+        })
+        assert graph.fork_roots() == ["pkg.run.work"]
+
+    def test_submit_kind_depends_on_receiver_type(self):
+        graph = build({
+            "pkg.run": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from concurrent.futures import ThreadPoolExecutor\n\n"
+                "def work(item):\n    return item\n\n"
+                "def fork_it(items):\n"
+                "    pool = ProcessPoolExecutor()\n"
+                "    return pool.submit(work, items)\n\n"
+                "def thread_it(items):\n"
+                "    pool = ThreadPoolExecutor()\n"
+                "    return pool.submit(work, items)\n"
+            ),
+        })
+        assert ("pkg.run.work", "fork") in edges_of(graph, "pkg.run.fork_it")
+        assert ("pkg.run.work", "executor") in edges_of(
+            graph, "pkg.run.thread_it"
+        )
+        assert graph.fork_roots() == ["pkg.run.work"]
+
+
+class TestEdgesAndWitness:
+    def test_executor_hop_and_ref_edges(self):
+        graph = build({
+            "pkg.svc": (
+                "import asyncio\n\n"
+                "def blocking():\n    return 1\n\n"
+                "def apply(fn):\n    return fn()\n\n"
+                "async def handler():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, blocking)\n\n"
+                "def indirect():\n"
+                "    return apply(blocking)\n"
+            ),
+        })
+        assert ("pkg.svc.blocking", "executor") in edges_of(
+            graph, "pkg.svc.handler"
+        )
+        assert {("pkg.svc.apply", "call"), ("pkg.svc.blocking", "ref")} == (
+            edges_of(graph, "pkg.svc.indirect")
+        )
+
+    def test_witness_is_shortest_chain(self):
+        graph = build({
+            "pkg.chain": (
+                "def leaf():\n    return 1\n\n"
+                "def mid():\n    return leaf()\n\n"
+                "def top():\n"
+                "    mid()\n"
+                "    return leaf()\n"
+            ),
+        })
+        parents = graph.reach(["pkg.chain.top"], kinds=("call",))
+        chain = graph.witness(parents, "pkg.chain.leaf")
+        # BFS: the direct top -> leaf edge wins over top -> mid -> leaf
+        assert [(e.src, e.dst) for e in chain] == [
+            ("pkg.chain.top", "pkg.chain.leaf")
+        ]
+
+    def test_reach_respects_kind_filter(self):
+        graph = build({
+            "pkg.svc": (
+                "import asyncio\n\n"
+                "def blocking():\n    return 1\n\n"
+                "async def handler():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, blocking)\n"
+            ),
+        })
+        sync = graph.reach(
+            ["pkg.svc.handler"], kinds=("call", "registry")
+        )
+        assert "pkg.svc.blocking" not in sync
+        taint = graph.reach(
+            ["pkg.svc.handler"],
+            kinds=("call", "registry", "ref", "executor", "fork"),
+        )
+        assert "pkg.svc.blocking" in taint
+
+
+class TestModuleNames:
+    def test_module_name_for_package_layout(self, tmp_path):
+        pkg = tmp_path / "toppkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "toppkg" / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        assert module_name_for(pkg / "mod.py") == (
+            "toppkg.sub.mod", "toppkg.sub"
+        )
+        assert module_name_for(pkg / "__init__.py") == (
+            "toppkg.sub", "toppkg.sub"
+        )
+
+    def test_module_name_for_bare_file(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("X = 1\n", encoding="utf-8")
+        assert module_name_for(path) == ("script", "script")

@@ -75,7 +75,7 @@ def test_select_and_ignore_scope_the_run(dirty_file):
 def test_list_rules_prints_catalog(capsys):
     assert lint_main(["--list-rules"]) == 0
     lines = capsys.readouterr().out.strip().splitlines()
-    assert len(lines) == 8
+    assert len(lines) == 13
     assert lines[0].startswith("R1[float-compare]")
     assert any("(project)" in line for line in lines)
 
@@ -88,7 +88,7 @@ def test_bench_json_artifact(dirty_file, tmp_path, capsys):
     assert data["tool"] == "repro.lint"
     assert data["files"] == 1
     assert data["diagnostics"] == 1
-    assert data["rules"] == 8
+    assert data["rules"] == 13
     assert data["wall_seconds"] >= 0.0
     assert data["within_budget"] is True
 
@@ -106,7 +106,104 @@ def test_repro_cli_forwards_leading_option(capsys):
     from repro.cli import main as repro_main
 
     assert repro_main(["lint", "--list-rules"]) == 0
-    assert len(capsys.readouterr().out.strip().splitlines()) == 8
+    assert len(capsys.readouterr().out.strip().splitlines()) == 13
+
+
+def test_sarif_format_carries_rules_and_results(dirty_file, capsys):
+    assert lint_main([str(dirty_file), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    assert len(run["tool"]["driver"]["rules"]) == 13
+    result = run["results"][0]
+    assert result["ruleId"] == "R8"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+
+
+def test_sarif_code_flow_from_witness(capsys):
+    fixture = REPO_ROOT / "tests" / "lint" / "cases" / "flow_r9"
+    assert lint_main([str(fixture), "--select", "R9",
+                      "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    results = doc["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"R9"}
+    flows = results[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert len(flows) >= 2  # root, call edge(s), blocking site
+    uris = {
+        loc["location"]["physicalLocation"]["artifactLocation"]["uri"]
+        for loc in flows
+    }
+    assert any(uri.endswith("handlers.py") for uri in uris)
+    assert any(uri.endswith("helpers.py") for uri in uris)
+
+
+def test_explain_prints_witness_call_path(capsys):
+    fixture = REPO_ROOT / "tests" / "lint" / "cases" / "flow_r9"
+    assert lint_main([str(fixture), "--explain", "R9"]) == 1
+    out = capsys.readouterr().out
+    assert "witness call path:" in out
+    assert "blocks: time.sleep" in out
+    assert "R9[transitive-blocking]" in out
+
+
+def test_explain_reports_absence(clean_file, capsys):
+    assert lint_main([str(clean_file), "--explain", "R9"]) == 0
+    assert "no R9 findings" in capsys.readouterr().out
+
+
+def test_changed_outside_git_checkout_errors(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--changed", str(tmp_path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_changed_lints_only_touched_files(tmp_path, monkeypatch, capsys):
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    clean = tmp_path / "committed.py"
+    clean.write_text('"""Committed and unchanged."""\n\ndef ok(x):\n'
+                     "    print(x)\n", encoding="utf-8")
+    subprocess.run(["git", "-C", str(tmp_path), "add", "."], check=True)
+    subprocess.run(
+        ["git", "-C", str(tmp_path), "-c", "user.email=t@t",
+         "-c", "user.name=t", "commit", "-qm", "seed"],
+        check=True,
+    )
+    dirty = tmp_path / "touched.py"
+    dirty.write_text('"""New file."""\n\n\ndef report(x):\n    print(x)\n',
+                     encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--changed", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    # the committed R8 violation is out of scope; only the new file shows
+    assert "touched.py" in out
+    assert "committed.py" not in out
+
+
+def test_changed_with_no_touched_files_is_clean(tmp_path, monkeypatch,
+                                                capsys):
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    (tmp_path / "a.py").write_text('"""A."""\nX = 1\n', encoding="utf-8")
+    subprocess.run(["git", "-C", str(tmp_path), "add", "."], check=True)
+    subprocess.run(
+        ["git", "-C", str(tmp_path), "-c", "user.email=t@t",
+         "-c", "user.name=t", "commit", "-qm", "seed"],
+        check=True,
+    )
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--changed", str(tmp_path)]) == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_cache_flag_threads_through_lint_paths(dirty_file, tmp_path, capsys):
+    cache = tmp_path / "flow.db"
+    assert lint_main([str(dirty_file), "--cache", str(cache)]) == 1
+    assert cache.exists()
+    capsys.readouterr()
+    # second run hits the summary cache; diagnostics are unchanged
+    assert lint_main([str(dirty_file), "--cache", str(cache)]) == 1
+    assert "R8[print-in-library]" in capsys.readouterr().out
 
 
 def test_python_dash_m_entry_point(dirty_file):

@@ -53,6 +53,11 @@ def _found(target: Path, code: str):
         ("r7_suppressed.py", "R7"),
         ("r8_print.py", "R8"),
         ("obs/r8_print.py", "R8"),
+        ("flow_r9", "R9"),
+        ("flow_r10", "R10"),
+        ("flow_r11", "R11"),
+        ("flow_r12", "R12"),
+        ("flow_r13", "R13"),
     ],
 )
 def test_fixture_diagnostics_match_expect_tags(fixture, code):

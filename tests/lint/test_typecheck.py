@@ -1,24 +1,60 @@
-"""Strict typing gate for the analysis kernel.
+"""Strict typing gate for the analysis kernel and the lint engine.
 
-Skips when mypy is not installed (the offline test container does not
-ship it); on developer machines with mypy this enforces the
-``[tool.mypy]`` strict profile over ``repro.core`` and ``repro._util``.
+The mypy run skips when mypy is not installed (the offline test
+container does not ship it); on developer machines with mypy it enforces
+the ``[tool.mypy]`` strict profile over ``repro.core``, ``repro._util``
+and ``repro.lint``.  The annotation audit below runs everywhere: it is
+the container-safe floor under ``disallow_untyped_defs`` — every def in
+the strict packages must annotate every parameter and its return.
 """
 
+import ast
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-pytest.importorskip("mypy")
-
 pytestmark = pytest.mark.lint
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+STRICT_PACKAGES = ("repro/core", "repro/_util", "repro/lint")
 
-def test_core_and_util_are_strictly_typed():
+
+def _unannotated_defs(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        gaps = []
+        if node.returns is None:
+            gaps.append("return")
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                gaps.append(arg.arg)
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                gaps.append("*" + vararg.arg)
+        if gaps:
+            yield f"{path}:{node.lineno} {node.name}: {', '.join(gaps)}"
+
+
+def test_strict_packages_have_full_annotations():
+    findings = []
+    for package in STRICT_PACKAGES:
+        for path in sorted((REPO_ROOT / "src" / package).rglob("*.py")):
+            findings.extend(_unannotated_defs(path))
+    assert findings == [], "unannotated defs in strict packages:\n" + (
+        "\n".join(findings)
+    )
+
+
+def test_strict_packages_typecheck():
+    pytest.importorskip("mypy")
     proc = subprocess.run(
         [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
         capture_output=True,

@@ -1,0 +1,102 @@
+"""Regression tests for the R9 transitive-blocking fixes.
+
+The flow analysis (R9) proved every async handler could reach the
+store-backed cache's sqlite calls *on the event-loop thread* through
+``TieredCache`` — admit/bounds cache probes, batch planning, and the
+``/metrics`` stats read.  The fix routes every cache touch through
+``AdmissionServer._offload`` (the worker pool).  These tests pin the
+behaviour: they record the thread running each cache method while real
+requests are in flight and assert it is never the loop thread.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from typing import List
+
+import pytest
+
+from repro.service.server import AdmissionServer
+
+from tests.service.conftest import http_request, run_async, running_server
+
+pytestmark = pytest.mark.service
+
+
+def _spy_cache(server, calls: List[str]) -> None:
+    """Wrap the live cache so each touch records its thread ident."""
+    cache = server.service.cache
+    loop_thread = threading.get_ident()  # called from inside the loop
+
+    def record(name: str) -> None:
+        where = "loop" if threading.get_ident() == loop_thread else "worker"
+        calls.append(f"{name}:{where}")
+
+    real_get, real_put, real_stats = cache.get, cache.put, cache.stats
+
+    def spy_get(key):
+        record("get")
+        return real_get(key)
+
+    def spy_put(key, value):
+        record("put")
+        return real_put(key, value)
+
+    def spy_stats():
+        record("stats")
+        return real_stats()
+
+    cache.get, cache.put, cache.stats = spy_get, spy_put, spy_stats
+
+
+class TestCacheTouchesOffLoop:
+    def test_admit_and_metrics_never_touch_cache_on_loop(
+        self, tasks_payload
+    ):
+        calls: List[str] = []
+
+        async def scenario():
+            async with running_server() as server:
+                _spy_cache(server, calls)
+                payload = {"tasks": tasks_payload, "processors": 2}
+                # miss (get + put), hit (get), then the stats read.
+                await http_request(server.port, "POST", "/v1/admit", payload)
+                await http_request(server.port, "POST", "/v1/admit", payload)
+                await http_request(server.port, "GET", "/metrics")
+
+        run_async(scenario())
+        kinds = {c.split(":")[0] for c in calls}
+        assert {"get", "put", "stats"} <= kinds, calls
+        on_loop = [c for c in calls if c.endswith(":loop")]
+        assert on_loop == [], f"cache touched on the event loop: {on_loop}"
+
+    def test_bounds_cache_probe_runs_on_worker(self):
+        calls: List[str] = []
+
+        async def scenario():
+            async with running_server() as server:
+                _spy_cache(server, calls)
+                await http_request(
+                    server.port, "POST", "/v1/bounds",
+                    {"tasks": [[1, 4], [2, 8]], "theta_max": 4},
+                )
+
+        run_async(scenario())
+        assert any(c.startswith("get:") for c in calls), calls
+        assert all(c.endswith(":worker") for c in calls), calls
+
+
+class TestMetricsBodyIsolation:
+    def test_metrics_body_requires_precomputed_stats(self):
+        """The body builder must not be able to reach the cache itself.
+
+        ``cache_stats`` has no default: the only way to build the metrics
+        body is with stats fetched by the caller (via ``_offload``), so
+        the R9 fix cannot silently regress to an inline fallback.
+        """
+        params = inspect.signature(
+            AdmissionServer.metrics_body
+        ).parameters
+        assert "cache_stats" in params
+        assert params["cache_stats"].default is inspect.Parameter.empty
