@@ -1,0 +1,11 @@
+"""Frontier mapping: bisected breakdown vs fixed grids (E17).
+
+Regenerates the experiment's table (written to benchmarks/results/e17.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e17(benchmark):
+    run_experiment_benchmark(benchmark, "e17")

@@ -1,0 +1,11 @@
+"""Adversarial witnesses: rejections just above the RM-TS cap (E18).
+
+Regenerates the experiment's table (written to benchmarks/results/e18.txt)
+and times one full quick-mode run; the paper-claim checks must pass.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_e18(benchmark):
+    run_experiment_benchmark(benchmark, "e18")

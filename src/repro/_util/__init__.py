@@ -14,6 +14,12 @@ from repro._util.floats import (
     is_close,
     is_integer_multiple,
 )
+from repro._util.stats import (
+    bootstrap_ci,
+    wilson_half_width,
+    wilson_interval,
+    z_score,
+)
 from repro._util.tables import Table
 from repro._util.validation import (
     check_positive,
@@ -31,6 +37,10 @@ __all__ = [
     "approx_lt",
     "is_close",
     "is_integer_multiple",
+    "bootstrap_ci",
+    "wilson_half_width",
+    "wilson_interval",
+    "z_score",
     "Table",
     "check_positive",
     "check_probability",

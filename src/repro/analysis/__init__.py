@@ -8,7 +8,9 @@ from repro.analysis.acceptance import (
 )
 from repro.analysis.breakdown import (
     breakdown_utilization,
+    breakdown_search,
     average_breakdown,
+    BreakdownResult,
     BreakdownStats,
 )
 from repro.analysis.algorithms import standard_algorithms, rmts_test, rmts_light_test
@@ -50,7 +52,9 @@ __all__ = [
     "acceptance_sweep",
     "SweepResult",
     "breakdown_utilization",
+    "breakdown_search",
     "average_breakdown",
+    "BreakdownResult",
     "BreakdownStats",
     "standard_algorithms",
     "rmts_test",

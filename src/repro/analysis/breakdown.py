@@ -9,39 +9,75 @@ and that RTA-based admission transfers the same gap to multiprocessors.
 Experiment E5 reproduces both sides with this module.
 
 The search scales all execution times of a base set by a common factor
-(bisection), capped so no individual utilization exceeds 1.
+(bisection), capped so no individual utilization exceeds 1.  Every
+bisection reports *how* it terminated (:class:`BreakdownResult.status`):
+
+* ``"converged"`` — the bracket shrank below the tolerance;
+* ``"cap-hit"`` — the set is still accepted where the largest task
+  utilization reaches 1, so the true breakdown is censored at the cap;
+* ``"iterations-exhausted"`` — the iteration budget ran out first, and
+  the returned value is only a lower bound with a bracket wider than
+  the tolerance.
+
+The seed code silently returned the midpoint in the exhausted case;
+E5 now surfaces the status counts so a too-small ``max_iterations``
+shows up in the report instead of quietly biasing the means.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro._util.floats import EPS
+from repro._util.stats import bootstrap_ci
 from repro.analysis.acceptance import AcceptanceTest
 from repro.core.task import TaskSet
 from repro.runner import cell_rng, chunked_map
 from repro.taskgen.generators import TaskSetGenerator
 
-__all__ = ["breakdown_utilization", "average_breakdown", "BreakdownStats"]
+__all__ = [
+    "breakdown_utilization",
+    "breakdown_search",
+    "average_breakdown",
+    "BreakdownResult",
+    "BreakdownStats",
+]
+
+#: Status values a bisection can terminate with.
+STATUS_CONVERGED = "converged"
+STATUS_CAP_HIT = "cap-hit"
+STATUS_EXHAUSTED = "iterations-exhausted"
 
 
-def breakdown_utilization(
+@dataclass(frozen=True)
+class BreakdownResult:
+    """One bisection's outcome: the value plus how it terminated."""
+
+    value: float
+    status: str
+    iterations: int
+    #: Final bracket ``hi - lo`` (0.0 for the cap-hit case).
+    bracket: float
+
+
+def breakdown_search(
     test: AcceptanceTest,
     taskset: TaskSet,
     processors: int,
     *,
     tolerance: float = 1e-3,
     max_iterations: int = 60,
-) -> float:
+) -> BreakdownResult:
     """Largest ``U_M`` at which the cost-scaled *taskset* passes *test*.
 
     The base set's shape (relative utilizations and periods) is preserved;
-    only the common scale changes.  Returns 0.0 when even an arbitrarily
-    small scale is rejected.  The scale is capped where the largest task
-    utilization reaches 1 (a sequential task cannot exceed one processor).
+    only the common scale changes.  The value is 0.0 when even an
+    arbitrarily small scale is rejected.  The scale is capped where the
+    largest task utilization reaches 1 (a sequential task cannot exceed
+    one processor); a set still accepted there reports ``"cap-hit"``.
     """
     base_norm = taskset.normalized_utilization(processors)
     if base_norm <= 0:
@@ -56,20 +92,52 @@ def breakdown_utilization(
 
     lo, hi = 0.0, hi_norm
     if accepted(hi_norm - EPS):
-        return hi_norm
+        return BreakdownResult(
+            value=hi_norm, status=STATUS_CAP_HIT, iterations=0, bracket=0.0
+        )
     # Establish a feasible lower end quickly.
     probe = min(base_norm, hi_norm / 2)
     if accepted(probe):
         lo = probe
+    iterations = 0
+    status = STATUS_EXHAUSTED
     for _ in range(max_iterations):
         if hi - lo <= tolerance:
+            status = STATUS_CONVERGED
             break
         mid = 0.5 * (lo + hi)
+        iterations += 1
         if accepted(mid):
             lo = mid
         else:
             hi = mid
-    return lo
+    else:
+        # The loop can also *end* converged when the last halving closed
+        # the bracket; only a still-wide bracket is a real exhaustion.
+        if hi - lo <= tolerance:
+            status = STATUS_CONVERGED
+    return BreakdownResult(
+        value=lo, status=status, iterations=iterations, bracket=hi - lo
+    )
+
+
+def breakdown_utilization(
+    test: AcceptanceTest,
+    taskset: TaskSet,
+    processors: int,
+    *,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> float:
+    """Value-only form of :func:`breakdown_search` (kept for callers that
+    need just the utilization)."""
+    return breakdown_search(
+        test,
+        taskset,
+        processors,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    ).value
 
 
 @dataclass
@@ -77,6 +145,9 @@ class BreakdownStats:
     """Summary statistics of a breakdown experiment."""
 
     values: List[float]
+    #: Per-sample termination statuses (same order as *values*; empty for
+    #: callers that only have the raw values).
+    statuses: List[str] = field(default_factory=list)
 
     @property
     def mean(self) -> float:
@@ -97,8 +168,23 @@ class BreakdownStats:
     def quantile(self, q: float) -> float:
         return float(np.quantile(self.values, q))
 
+    def status_counts(self) -> Dict[str, int]:
+        """How many bisections ended with each status."""
+        counts: Dict[str, int] = {}
+        for status in self.statuses:
+            counts[status] = counts.get(status, 0) + 1
+        return counts
 
-def _breakdown_cell(payload, sample_idx: int) -> float:
+    def mean_ci(
+        self, *, confidence: float = 0.95, resamples: int = 2000, seed: int = 0
+    ) -> Tuple[float, float]:
+        """Bootstrap confidence interval for the mean breakdown."""
+        return bootstrap_ci(
+            self.values, confidence=confidence, resamples=resamples, seed=seed
+        )
+
+
+def _breakdown_cell(payload, sample_idx: int) -> Tuple[float, str]:
     """Worker for one breakdown sample: draw a shape, bisect its scale."""
     test, generator, processors, base_u_norm, tolerance, seed = payload
     ts = generator.generate(
@@ -106,7 +192,8 @@ def _breakdown_cell(payload, sample_idx: int) -> float:
         processors=processors,
         seed=cell_rng(seed, sample_idx),
     )
-    return breakdown_utilization(test, ts, processors, tolerance=tolerance)
+    result = breakdown_search(test, ts, processors, tolerance=tolerance)
+    return (result.value, result.status)
 
 
 def average_breakdown(
@@ -124,12 +211,15 @@ def average_breakdown(
 
     Shapes are drawn from *generator* at a low ``base_u_norm`` (the shape
     is what matters; the search rescales), then each is bisected with
-    :func:`breakdown_utilization`.  Samples are seeded independently via
+    :func:`breakdown_search`.  Samples are seeded independently via
     :func:`repro.runner.cell_rng`, so ``jobs > 1`` distributes the
     bisections over a process pool without changing any result.
     """
     payload = (test, generator, processors, base_u_norm, tolerance, seed)
-    values = chunked_map(
+    rows = chunked_map(
         _breakdown_cell, range(samples), payload=payload, jobs=jobs
     )
-    return BreakdownStats(values=list(values))
+    return BreakdownStats(
+        values=[value for value, _status in rows],
+        statuses=[status for _value, status in rows],
+    )

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro generate --n 12 --u-norm 0.8 --processors 4 -o tasks.json
     python -m repro serve --port 8787 --queue-limit 64 --store results.db
     python -m repro store stats results.db
+    python -m repro search frontier --algorithm rmts --store results.db
 
 Task files are JSON: either a list of ``{"cost": C, "period": T}`` objects
 or a list of ``[C, T]`` pairs.
@@ -380,6 +381,12 @@ def cmd_bench(args) -> int:
     return bench_main(args.bench_args)
 
 
+def cmd_search(args) -> int:
+    from repro.search.cli import main as search_main
+
+    return search_main(args.search_args)
+
+
 def cmd_generate(args) -> int:
     if args.preset:
         ts = build_workload(
@@ -629,6 +636,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(func=cmd_bench)
 
+    p_search = sub.add_parser(
+        "search",
+        help="frontier mapping + adversarial task-set search "
+        "(see docs/search.md)",
+    )
+    p_search.add_argument(
+        "search_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to repro.search "
+        "(see python -m repro search --help)",
+    )
+    p_search.set_defaults(func=cmd_search)
+
     p_lint = sub.add_parser(
         "lint",
         help="run the domain static analyzer (see docs/static_analysis.md)",
@@ -687,6 +707,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.bench_check import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "search":
+        from repro.search.cli import main as search_main
+
+        return search_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -26,6 +26,7 @@ from repro.experiments import sim_exps  # noqa: F401  (e7, e8)
 from repro.experiments import mechanism_exps  # noqa: F401  (e9, e10)
 from repro.experiments import extension_exps  # noqa: F401  (e11, e12)
 from repro.experiments import churn_exp  # noqa: F401  (e16)
+from repro.experiments import search_exps  # noqa: F401  (e17, e18)
 from repro.experiments import ablations  # noqa: F401  (a1)
 
 __all__ = [

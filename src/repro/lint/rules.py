@@ -675,6 +675,8 @@ _R8_EXEMPT_SUFFIXES = (
     "store/cli.py",
     "store/bench_store.py",
     "obs/cli.py",
+    "search/cli.py",
+    "search/bench_search.py",
     "perf/bench_check.py",
     "cluster/bench_churn.py",
     "lint/flow/bench_flow.py",

@@ -59,6 +59,7 @@ __all__ = [
     "CLUSTER_WAIT_TIME",
     "CLUSTER_UTILIZATION",
     "CLUSTER_MIGRATIONS",
+    "SEARCH_LEVEL_SAMPLES",
 ]
 
 
@@ -417,4 +418,15 @@ CLUSTER_MIGRATIONS = histogram(
     "cluster_migrations_per_departure",
     _MIGRATION_BOUNDS,
     "task migrations applied per departure event (RTA re-verified)",
+)
+
+#: Probe budget the frontier mapper spends per utilization level before
+#: the Wilson interval settles the classification.  Integer-valued, so
+#: worker merges are bit-exact (like ``rta_iterations``).
+_LEVEL_SAMPLE_BOUNDS = (5, 10, 20, 40, 80, 160, 320, 640)
+
+SEARCH_LEVEL_SAMPLES = histogram(
+    "search_level_samples",
+    _LEVEL_SAMPLE_BOUNDS,
+    "acceptance probes spent per frontier level classification",
 )

@@ -59,6 +59,12 @@ _FIELDS = (
     "cl_departures",      # resident task sets that left the cluster
     "cl_migrations",      # task relocations applied (all RTA re-verified)
     "cl_journal_events",  # events written to the churn store journal
+    # -- frontier/adversarial search (repro.search) -------------------------
+    "se_probes",          # acceptance-test probes computed by a search
+    "se_probes_resumed",  # probes served from the search journal
+    "se_levels",          # utilization levels classified by the mapper
+    "se_ce_rounds",       # cross-entropy refinement rounds completed
+    "se_witnesses",       # adversarial witness records emitted
 )
 
 

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.search frontier|adversarial|witness``."""
+
+from repro.search.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.analysis.breakdown import (
+    STATUS_CAP_HIT,
+    STATUS_CONVERGED,
+    STATUS_EXHAUSTED,
     BreakdownStats,
     average_breakdown,
+    breakdown_search,
     breakdown_utilization,
 )
 from repro.core.rta import is_schedulable
@@ -55,6 +59,60 @@ class TestBreakdownUtilization:
             breakdown_utilization(uniproc_rta, ts, 0)
 
 
+class TestBreakdownSearchStatus:
+    def test_converged_run_reports_status_and_bracket(self, harmonic_set):
+        result = breakdown_search(
+            utilization_cap_test(0.6), harmonic_set, 2, tolerance=1e-4
+        )
+        assert result.status == STATUS_CONVERGED
+        assert result.bracket <= 1e-4
+        assert result.iterations > 0
+        assert result.value == pytest.approx(0.6, abs=1e-3)
+
+    def test_cap_hit_is_reported_not_silently_returned(self):
+        ts = TaskSet.from_pairs([(2, 4), (1, 10)])
+        result = breakdown_search(lambda t, m: True, ts, 2, tolerance=1e-4)
+        assert result.status == STATUS_CAP_HIT
+        assert result.bracket == 0.0
+        assert result.iterations == 0
+        assert result.value == pytest.approx(
+            2 * ts.normalized_utilization(2), rel=1e-6
+        )
+
+    def test_iteration_budget_exhaustion_is_reported(self, harmonic_set):
+        # One iteration cannot shrink the initial bracket below 1e-4, so
+        # the seed code would have silently returned a midpoint here.
+        result = breakdown_search(
+            utilization_cap_test(0.6),
+            harmonic_set,
+            2,
+            tolerance=1e-4,
+            max_iterations=1,
+        )
+        assert result.status == STATUS_EXHAUSTED
+        assert result.bracket > 1e-4
+
+    def test_exhausted_value_is_a_lower_bound(self, harmonic_set):
+        exhausted = breakdown_search(
+            utilization_cap_test(0.6),
+            harmonic_set,
+            2,
+            tolerance=1e-4,
+            max_iterations=3,
+        )
+        converged = breakdown_search(
+            utilization_cap_test(0.6), harmonic_set, 2, tolerance=1e-4
+        )
+        assert exhausted.value <= converged.value
+        assert converged.value <= exhausted.value + exhausted.bracket
+
+    def test_value_matches_breakdown_utilization(self, harmonic_set):
+        test = utilization_cap_test(0.6)
+        assert breakdown_utilization(
+            test, harmonic_set, 2, tolerance=1e-3
+        ) == breakdown_search(test, harmonic_set, 2, tolerance=1e-3).value
+
+
 class TestBreakdownStats:
     def test_summary_statistics(self):
         stats = BreakdownStats(values=[0.5, 0.7, 0.9])
@@ -63,6 +121,25 @@ class TestBreakdownStats:
         assert stats.maximum == 0.9
         assert stats.quantile(0.5) == pytest.approx(0.7)
         assert stats.std > 0
+
+    def test_status_counts(self):
+        stats = BreakdownStats(
+            values=[0.5, 0.7, 0.9],
+            statuses=[STATUS_CONVERGED, STATUS_CONVERGED, STATUS_CAP_HIT],
+        )
+        assert stats.status_counts() == {
+            STATUS_CONVERGED: 2,
+            STATUS_CAP_HIT: 1,
+        }
+
+    def test_status_counts_empty_for_value_only_callers(self):
+        assert BreakdownStats(values=[0.5]).status_counts() == {}
+
+    def test_mean_ci_is_seeded_and_brackets_the_mean(self):
+        stats = BreakdownStats(values=[0.5, 0.6, 0.7, 0.8, 0.9])
+        lo, hi = stats.mean_ci(seed=5)
+        assert (lo, hi) == stats.mean_ci(seed=5)
+        assert lo <= stats.mean <= hi
 
 
 class TestAverageBreakdown:
@@ -82,3 +159,13 @@ class TestAverageBreakdown:
         b = average_breakdown(uniproc_rta, gen, processors=1, samples=5,
                               seed=3, tolerance=5e-3)
         assert a.values == b.values
+        assert a.statuses == b.statuses
+
+    def test_statuses_populated_per_sample(self):
+        gen = TaskSetGenerator(n=6)
+        stats = average_breakdown(uniproc_rta, gen, processors=1, samples=5,
+                                  seed=3, tolerance=5e-3)
+        assert len(stats.statuses) == len(stats.values) == 5
+        assert set(stats.statuses) <= {
+            STATUS_CONVERGED, STATUS_CAP_HIT, STATUS_EXHAUSTED,
+        }

@@ -115,6 +115,44 @@ def test_nightly_regenerates_benchmarks_with_baseline_parameters():
             "--processors 4 --horizon 60 --seed 0 --jobs 2") in text
 
 
+def test_nightly_regenerates_search_benchmark():
+    text = NIGHTLY.read_text()
+    assert ("python -m repro.search.bench_search "
+            "--seed 0 --jobs 2 --out fresh/BENCH_search.json") in text
+
+
+def test_nightly_search_params_match_committed_search_config():
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_search.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_search.json")
+    config = json.loads(artifact.read_text())["config"]
+    search_line = next(
+        line for line in NIGHTLY.read_text().splitlines()
+        if "repro.search.bench_search" in line
+    )
+    assert f"--seed {config['seed']}" in search_line
+    assert f"--jobs {config['jobs']}" in search_line
+
+
+def test_committed_search_benchmark_meets_the_efficiency_contract():
+    import json
+
+    artifact = ROOT / "benchmarks" / "results" / "BENCH_search.json"
+    if not artifact.is_file():
+        pytest.skip("no committed BENCH_search.json")
+    payload = json.loads(artifact.read_text())
+    efficiency = payload["efficiency"]
+    assert efficiency["min_required"] >= 3.0
+    assert efficiency["speedup_vs_grid"] >= efficiency["min_required"]
+    assert payload["frontier"]["interval_half_width"] <= 0.02
+    determinism = payload["determinism"]
+    assert determinism["jobs_invariant"] is True
+    assert determinism["resume"]["result_identical"] is True
+    assert determinism["witness_replay_confirmed"] is True
+
+
 def test_nightly_gates_on_bench_drift_and_uploads_artifacts():
     text = NIGHTLY.read_text()
     assert DRIFT_CMD in text

@@ -1,0 +1,11 @@
+"""Fixture: a file whose path ends in ``search/cli.py`` is R8-exempt.
+
+The real ``repro/search/cli.py`` prints frontier and witness summaries;
+this mirror asserts the exemption stays in
+:data:`repro.lint.rules._R8_EXEMPT_SUFFIXES`.
+"""
+
+
+def main(verdict):
+    print(verdict)
+    return 0

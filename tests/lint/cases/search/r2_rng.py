@@ -1,0 +1,18 @@
+"""R2 fixture: search-style probe workers must derive RNG from the key.
+
+Mirrors :mod:`repro.search.probes`: the probe stream must come from
+``cell_rng(seed, u_key(u), idx)``, never from unseeded or
+constant-seeded generators inside a worker.
+"""
+
+import numpy as np
+
+
+def evaluate_probe(seed, u_bits, sample_idx):
+    bad_unseeded = np.random.default_rng()  # expect: R2
+    bad_constant = np.random.default_rng(42)  # expect: R2
+    bad_arith = np.random.default_rng(seed * 1000 + sample_idx)  # expect: R2
+    ok_param = np.random.default_rng(seed)
+    ok_suppressed = np.random.default_rng()  # repro-lint: disable=R2
+    del u_bits
+    return (bad_unseeded, bad_constant, bad_arith, ok_param, ok_suppressed)

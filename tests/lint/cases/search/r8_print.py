@@ -1,0 +1,7 @@
+"""R8 fixture: ``print()`` in search library code (not a CLI surface)."""
+
+
+def report_frontier(result):
+    print(result)  # expect: R8
+    print(result)  # repro-lint: disable=R8 -- fixture
+    return result

@@ -42,6 +42,7 @@ def _found(target: Path, code: str):
     [
         ("r1_float_compare.py", "R1"),
         ("r2_rng.py", "R2"),
+        ("search/r2_rng.py", "R2"),
         ("service/r3_async.py", "R3"),
         ("cluster/r3_async.py", "R3"),
         ("r4", "R4"),
@@ -53,6 +54,7 @@ def _found(target: Path, code: str):
         ("r7_suppressed.py", "R7"),
         ("r8_print.py", "R8"),
         ("obs/r8_print.py", "R8"),
+        ("search/r8_print.py", "R8"),
         ("flow_r9", "R9"),
         ("flow_r10", "R10"),
         ("flow_r11", "R11"),
@@ -69,6 +71,13 @@ def test_obs_cli_is_r8_exempt():
     # The obs CLI prints its summaries by design; the exemption is on the
     # path suffix, so this mirror file must produce no R8 diagnostics.
     assert _found(CASES / "obs" / "cli.py", "R8") == set()
+
+
+def test_search_cli_is_r8_exempt():
+    # The search CLI prints frontier/witness summaries by design; the
+    # exemption is on the path suffix, so this mirror file must produce
+    # no R8 diagnostics.
+    assert _found(CASES / "search" / "cli.py", "R8") == set()
 
 
 def test_r7_suppressed_fixture_really_has_drift():

@@ -1,0 +1,108 @@
+"""CLI tests for ``python -m repro search`` (both dispatch paths)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.search.cli import main as search_main
+
+pytestmark = pytest.mark.search
+
+QUICK_FRONTIER = [
+    "frontier",
+    "--u-min", "0.6",
+    "--half-width", "0.05",
+    "--batch", "10",
+    "--max-samples", "40",
+]
+
+QUICK_ADVERSARIAL = [
+    "adversarial",
+    "--rounds", "2",
+    "--population", "6",
+    "--tolerance", "5e-3",
+]
+
+
+class TestFrontierCommand:
+    def test_text_output(self, capsys):
+        assert search_main(QUICK_FRONTIER) == 0
+        out = capsys.readouterr().out
+        assert "acceptance frontier" in out
+        assert "grid-equivalent" in out
+
+    def test_json_output(self, capsys):
+        assert search_main(QUICK_FRONTIER + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "rmts"
+        assert payload["lo"] <= payload["u_star"] <= payload["hi"]
+        assert payload["theory"]["rmts_cap"] == pytest.approx(
+            0.832837281998265
+        )
+
+    def test_sharpness_flag(self, capsys):
+        assert search_main(QUICK_FRONTIER + ["--sharpness", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sharpness"]["transition_width"] > 0
+
+    def test_dispatch_through_top_level_cli(self, capsys):
+        # "search" is dispatched from argv[0] before argparse (the
+        # REMAINDER caveat), so the top-level path must work too.
+        assert repro_main(["search"] + QUICK_FRONTIER) == 0
+        assert "acceptance frontier" in capsys.readouterr().out
+
+    def test_store_resume_and_budget_exit_code(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.db")
+        argv = QUICK_FRONTIER + ["--store", store]
+        assert search_main(argv + ["--max-new-probes", "20"]) == 3
+        assert "interrupted" in capsys.readouterr().err
+        assert search_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(20 resumed)" in out
+
+    def test_bad_algorithm_exits_two(self, capsys):
+        assert search_main(["frontier", "--u-min", "2.0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdversarialCommand:
+    def test_writes_replayable_witness(self, tmp_path, capsys):
+        witness = str(tmp_path / "witness.json")
+        assert search_main(QUICK_ADVERSARIAL + ["--witness", witness]) == 0
+        out = capsys.readouterr().out
+        assert "witness: rejected at" in out
+        assert search_main(["witness", witness]) == 0
+        assert "confirmed: True" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert search_main(QUICK_ADVERSARIAL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["found"] is True
+        assert payload["best"]["u_reject"] > payload["best"]["cap"]
+
+
+class TestWitnessCommand:
+    def test_json_verdict(self, tmp_path, capsys):
+        witness = str(tmp_path / "witness.json")
+        assert search_main(QUICK_ADVERSARIAL + ["--witness", witness]) == 0
+        capsys.readouterr()
+        assert search_main(["witness", witness, "--json", "-j", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["confirmed"] is True
+
+    def test_tampered_witness_fails(self, tmp_path, capsys):
+        witness = tmp_path / "witness.json"
+        assert search_main(
+            QUICK_ADVERSARIAL + ["--witness", str(witness)]
+        ) == 0
+        capsys.readouterr()
+        record = json.loads(witness.read_text())
+        record["tasks"][0]["cost"] *= 0.5  # no longer the stored rejection
+        witness.write_text(json.dumps(record))
+        assert search_main(["witness", str(witness)]) == 1
+        assert "confirmed: False" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert search_main(["witness", "nonesuch.json"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,55 @@
+"""The committed adversarial witness must keep replaying confirmed.
+
+``benchmarks/results/witness_rmts.json`` is the acceptance-criteria
+artifact: a journaled task set that RM-TS rejects at a normalized
+utilization strictly above its proven ``2Theta/(1+Theta)`` cap.  This
+suite replays it from its stored RNG coordinates, so any change to the
+generator, the scaling rules, or the RM-TS analysis that would silently
+invalidate the witness fails tier-1.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.algorithms import PARTITIONERS
+from repro.core.bounds import rmts_bound_cap
+from repro.core.task import TaskSet
+from repro.search.witness import load_witness, replay_witness
+
+pytestmark = pytest.mark.search
+
+WITNESS = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "results" / "witness_rmts.json"
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    if not WITNESS.is_file():
+        pytest.skip("no committed witness_rmts.json")
+    return load_witness(str(WITNESS))
+
+
+def test_witness_sits_above_the_proven_cap(record):
+    ts = TaskSet.from_dicts(record["tasks"])
+    cap = rmts_bound_cap(len(ts))
+    u_norm = ts.normalized_utilization(int(record["processors"]))
+    assert u_norm > cap
+    assert record["margin"] > 0.0
+    assert record["cap"] == pytest.approx(cap, rel=1e-12)
+
+
+def test_rmts_rejects_the_committed_witness(record):
+    assert record["algorithm"] == "rmts"
+    ts = TaskSet.from_dicts(record["tasks"])
+    assert not PARTITIONERS["rmts"](ts, int(record["processors"])).success
+
+
+def test_replay_from_rng_coordinates_confirms(record):
+    replay = replay_witness(record)
+    assert replay["confirmed"]
+    assert replay["tasks_match"]
+    assert replay["counters_match"]
+    assert replay_witness(record, jobs=2) == replay

@@ -33,6 +33,7 @@ class TestExports:
             "repro.taskgen",
             "repro.analysis",
             "repro.experiments",
+            "repro.search",
         ],
     )
     def test_submodules_import(self, module):

@@ -1,0 +1,102 @@
+"""Exact-value tests for the shared statistics helpers.
+
+The Wilson reference numbers are the textbook values for the score
+interval (e.g. 8/10 successes at 95% -> [0.4902, 0.9433]); the
+bootstrap values pin the seeded resampling path bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util.stats import (
+    bootstrap_ci,
+    wilson_half_width,
+    wilson_interval,
+    z_score,
+)
+
+
+class TestZScore:
+    def test_95_percent(self):
+        assert z_score(0.95) == pytest.approx(1.959963984540054, abs=1e-12)
+
+    def test_90_percent(self):
+        assert z_score(0.90) == pytest.approx(1.6448536269514722, abs=1e-12)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            z_score(confidence)
+
+
+class TestWilsonInterval:
+    def test_textbook_value(self):
+        lo, hi = wilson_interval(8, 10)
+        assert lo == pytest.approx(0.4901624715366418, abs=1e-12)
+        assert hi == pytest.approx(0.9433178485456248, abs=1e-12)
+
+    def test_zero_successes_never_degenerates(self):
+        # Unlike the normal approximation, the score interval keeps a
+        # nonzero width at p_hat = 0 — this is what lets the frontier
+        # mapper classify levels the algorithm always rejects.
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert hi == pytest.approx(0.16112515805281938, abs=1e-12)
+
+    def test_all_successes_never_degenerates(self):
+        lo, hi = wilson_interval(20, 20)
+        assert lo == pytest.approx(0.8388748419471806, abs=1e-12)
+        assert hi == 1.0
+
+    def test_symmetric_at_half(self):
+        lo, hi = wilson_interval(5, 10, confidence=0.9)
+        assert lo == pytest.approx(0.2692718211382672, abs=1e-12)
+        assert hi == pytest.approx(1.0 - lo, abs=1e-12)
+
+    def test_bounds_clamped_to_unit_interval(self):
+        lo, hi = wilson_interval(1, 2)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_more_trials_shrink_the_interval(self):
+        wide = wilson_half_width(8, 10)
+        narrow = wilson_half_width(80, 100)
+        assert wide == pytest.approx(0.22657768850449153, abs=1e-12)
+        assert narrow < wide
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+
+class TestBootstrapCI:
+    def test_seeded_resampling_is_exact(self):
+        lo, hi = bootstrap_ci(
+            [0.5, 0.7, 0.9, 0.6, 0.8], seed=7, resamples=500
+        )
+        assert lo == pytest.approx(0.58, abs=1e-12)
+        assert hi == pytest.approx(0.8200000000000001, abs=1e-12)
+
+    def test_deterministic_per_seed(self):
+        values = list(np.linspace(0.4, 0.9, 20))
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+        assert bootstrap_ci(values, seed=3) != bootstrap_ci(values, seed=4)
+
+    def test_single_value_collapses(self):
+        assert bootstrap_ci([0.42], seed=0) == (0.42, 0.42)
+
+    def test_contains_the_sample_mean(self):
+        values = [0.2, 0.4, 0.6, 0.8]
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo <= float(np.mean(values)) <= hi
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_rejects_degenerate_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.1, 0.2], confidence=1.0)
