@@ -1,0 +1,51 @@
+"""Batched vectorized RTA kernel.
+
+Evaluates many cold processor schedulability checks at once, bit-identical
+to the serial :func:`repro.core.rta.is_schedulable` baseline — verdicts,
+first-failure indices and ``rta_calls``/``rta_iterations`` accounting —
+behind selectable backends (``python`` reference, ``numpy`` lockstep,
+optional ``native`` C with graceful fallback).  See ``docs/kernels.md``.
+
+Import order matters here: :mod:`engine` imports the backends, which
+import only :mod:`repro.core.rta` constants and :mod:`repro._util`, so
+the package is cycle-free below :mod:`repro.core.partition`.
+"""
+
+from repro.core.kernel.adapter import (
+    check_subtask_lists,
+    validate_partition,
+    validate_processors,
+)
+from repro.core.kernel.engine import (
+    StagedBatch,
+    available_backends,
+    evaluate_batch,
+    resolve_backend,
+    stage_requests,
+    stage_subtask_lists,
+    using,
+)
+from repro.core.kernel.native import native_available, native_error
+from repro.core.kernel.request import (
+    BatchOutcome,
+    BatchRTARequest,
+    BatchRTAResult,
+)
+
+__all__ = [
+    "BatchOutcome",
+    "BatchRTARequest",
+    "BatchRTAResult",
+    "StagedBatch",
+    "available_backends",
+    "check_subtask_lists",
+    "evaluate_batch",
+    "native_available",
+    "native_error",
+    "resolve_backend",
+    "stage_requests",
+    "stage_subtask_lists",
+    "using",
+    "validate_partition",
+    "validate_processors",
+]

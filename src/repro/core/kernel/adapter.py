@@ -1,0 +1,80 @@
+"""Batching adapter: from domain objects to kernel batches.
+
+The engine speaks :class:`BatchRTARequest` arrays; the rest of the
+system speaks subtask lists, :class:`~repro.core.partition.ProcessorState`
+objects and partitions.  This module is the one place that translates —
+call sites (partition validation, checked sweeps, service batch
+revalidation, frontier probes) stay one-liner thin.
+
+Everything here is duck-typed on ``.subtasks`` rather than importing the
+partition layer, keeping the kernel package import-cycle-free below
+:mod:`repro.core.partition`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+from repro.core.kernel.engine import evaluate_batch, stage_subtask_lists
+from repro.core.kernel.request import BatchOutcome
+from repro.core.task import Subtask
+
+__all__ = [
+    "check_subtask_lists",
+    "validate_partition",
+    "validate_processors",
+]
+
+
+class _HasSubtasks(Protocol):
+    subtasks: List[Subtask]
+
+
+def check_subtask_lists(
+    lists: Iterable[Sequence[Subtask]],
+    *,
+    backend: Optional[str] = None,
+    collect_responses: bool = False,
+) -> BatchOutcome:
+    """Batched ``is_schedulable`` over many processors' subtask lists.
+
+    One kernel batch; outcome entries are in input order and bit-match
+    the serial verdict/counter behaviour for each list.  Staging uses
+    the columnar :func:`~repro.core.kernel.engine.stage_subtask_lists`
+    path (one ``lexsort`` over the flattened corpus) rather than
+    per-request array objects.
+    """
+    staged = stage_subtask_lists(
+        lists if isinstance(lists, (list, tuple)) else list(lists)
+    )
+    return evaluate_batch(
+        staged, backend=backend, collect_responses=collect_responses
+    )
+
+
+def validate_processors(
+    processors: Iterable[_HasSubtasks],
+    *,
+    backend: Optional[str] = None,
+) -> List[bool]:
+    """Per-processor schedulability verdicts, one kernel batch for all.
+
+    The batched twin of calling ``proc.is_schedulable()`` in a loop —
+    used by :meth:`PartitionResult.validate
+    <repro.core.partition.PartitionResult.validate>` when
+    ``perf.config.kernel_batching`` is on.
+    """
+    outcome = check_subtask_lists(
+        (proc.subtasks for proc in processors), backend=backend
+    )
+    return [bool(v) for v in outcome.verdicts]
+
+
+def validate_partition(
+    partition: object,
+    *,
+    backend: Optional[str] = None,
+) -> bool:
+    """Whether every processor of *partition* passes exact RTA (one batch)."""
+    processors = getattr(partition, "processors")
+    return all(validate_processors(processors, backend=backend))

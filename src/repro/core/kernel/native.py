@@ -1,0 +1,245 @@
+"""Optional native (C) backend for the batched RTA kernel.
+
+A ~60-line C twin of :func:`repro.core.kernel.py_backend.scalar_lane`,
+compiled on first use with whatever ``cc``/``gcc`` the host provides and
+loaded through :mod:`ctypes`.  There is no build step and no hard
+dependency: when no compiler is present (or compilation fails, or
+``REPRO_KERNEL_NATIVE=0`` is set) the engine falls back to the numpy
+backend and counts the event in ``COUNTERS.krn_fallbacks``.
+
+Bit-identity with the python/numpy backends requires two things of the
+compiled code:
+
+* the interference sum is accumulated serially per interferer — the
+  same left-to-right order as the scalar reference; and
+* FMA contraction is disabled (``-ffp-contract=off``), because a fused
+  ``ceil(...)*C + acc`` would round once where the reference rounds
+  twice, drifting by ULPs on some hosts.
+
+``EPS``, the iteration cap, and the pre-inflated deadline bounds are
+passed in from python so every numeric constant lives in exactly one
+place (:mod:`repro.core.rta` / :mod:`repro._util.floats`).
+
+The compiled library is cached on disk keyed by the SHA-256 of the C
+source, and the loaded handle is cached in a module global.  Fork
+safety: the handle is established (or the load attempt fails) in the
+parent before the fork pool spawns, and a dlopen'd library handle is
+valid across ``fork()`` — children never mutate this state.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._util.floats import EPS
+from repro.core.rta import _MAX_ITER
+
+__all__ = ["native_available", "native_error", "run_bucket"]
+
+_C_SOURCE = r"""
+#include <math.h>
+
+/* One cold RTA fixed point per lane; hp arrays are lanes*width
+ * row-major.  Returns 0 on success, 1 if any lane hit max_iter without
+ * settling (the caller raises, matching the python reference).
+ * responses[i] is NaN where ok[i] == 0. */
+int repro_rta_bucket(
+    long lanes, long width,
+    const double *costs, const double *bounds,
+    const double *hp_costs, const double *hp_periods,
+    double eps, long max_iter,
+    double *responses, long *iterations, unsigned char *ok)
+{
+    for (long i = 0; i < lanes; i++) {
+        const double cost = costs[i];
+        const double bound = bounds[i];
+        const double *hc = hp_costs + i * width;
+        const double *ht = hp_periods + i * width;
+        double r = cost;
+        for (long j = 0; j < width; j++)
+            r += hc[j];
+        long iters = 0;
+        int settled = 0;
+        responses[i] = NAN;
+        ok[i] = 0;
+        for (long k = 0; k < max_iter; k++) {
+            if (r > bound) { settled = 1; break; }
+            iters++;
+            double r_new = cost;
+            for (long j = 0; j < width; j++)
+                r_new += ceil(r / ht[j] - eps) * hc[j];
+            if (r_new <= r + eps) {
+                if (r_new <= bound) {
+                    responses[i] = r_new;
+                    ok[i] = 1;
+                }
+                settled = 1;
+                break;
+            }
+            r = r_new;
+        }
+        iterations[i] = iters;
+        if (!settled)
+            return 1;
+    }
+    return 0;
+}
+"""
+
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+
+# Load-once module state.  ``_LOAD_ATTEMPTED`` distinguishes "never
+# tried" from "tried and failed" so a broken toolchain is probed once
+# per process, not once per batch.
+_LIB: Optional[ctypes.CDLL] = None
+_LOAD_ATTEMPTED = False
+_LOAD_ERROR: Optional[str] = None
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        root = os.path.join(tempfile.gettempdir(), "repro-kernel-cache")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        for directory in os.environ.get("PATH", "").split(os.pathsep):
+            candidate = os.path.join(directory, name)
+            if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+                return candidate
+    return None
+
+
+def _compile() -> Tuple[Optional[str], Optional[str]]:
+    """Compile the C source (cached by hash); ``(path, error)``."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    lib_path = os.path.join(_cache_dir(), f"repro_rta_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path, None
+    compiler = _find_compiler()
+    if compiler is None:
+        return None, "no C compiler (cc/gcc/clang) on PATH"
+    src_path = os.path.join(_cache_dir(), f"repro_rta_{digest}.c")
+    with open(src_path, "w") as fh:
+        fh.write(_C_SOURCE)
+    # Compile to a unique temp name, then publish atomically so
+    # concurrent first-callers never load a half-written library.
+    tmp_path = f"{lib_path}.tmp.{os.getpid()}"
+    cmd = [compiler, *_CFLAGS, "-o", tmp_path, src_path, "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return None, f"compiler invocation failed: {exc}"
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout or "").strip().splitlines()
+        return None, "compile failed: " + (detail[-1] if detail else "unknown error")
+    os.replace(tmp_path, lib_path)
+    return lib_path, None
+
+
+def _load() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
+    global _LIB, _LOAD_ATTEMPTED, _LOAD_ERROR
+    if _LOAD_ATTEMPTED:
+        return _LIB, _LOAD_ERROR
+    _LOAD_ATTEMPTED = True
+    if os.environ.get("REPRO_KERNEL_NATIVE", "1") == "0":
+        _LOAD_ERROR = "disabled via REPRO_KERNEL_NATIVE=0"
+        return None, _LOAD_ERROR
+    lib_path, error = _compile()
+    if lib_path is None:
+        _LOAD_ERROR = error
+        return None, _LOAD_ERROR
+    try:
+        lib = ctypes.CDLL(lib_path)
+    except OSError as exc:
+        _LOAD_ERROR = f"dlopen failed: {exc}"
+        return None, _LOAD_ERROR
+    fn = lib.repro_rta_bucket
+    fn.restype = ctypes.c_int
+    fn.argtypes = [
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.c_double,
+        ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_long),
+        ctypes.POINTER(ctypes.c_ubyte),
+    ]
+    _LIB = lib
+    return _LIB, None
+
+
+def native_available() -> bool:
+    """True when the compiled backend loaded (compiling on first call)."""
+    lib, _ = _load()
+    return lib is not None
+
+
+def native_error() -> Optional[str]:
+    """Why the native backend is unavailable, or ``None`` when it is."""
+    _, error = _load()
+    return error
+
+
+def _as_c_double(array: np.ndarray) -> "ctypes.pointer[ctypes.c_double]":
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def run_bucket(
+    costs: np.ndarray,
+    deadlines: np.ndarray,
+    hp_costs: np.ndarray,
+    hp_periods: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate one lane bucket natively: ``(responses, iterations, ok)``.
+
+    Raises ``RuntimeError`` when the backend is unavailable (callers go
+    through the engine, which falls back to numpy instead) or when a
+    lane exhausts the iteration cap (matching the python reference).
+    """
+    lib, error = _load()
+    if lib is None:
+        raise RuntimeError(f"native kernel backend unavailable: {error}")
+    lanes = int(costs.shape[0])
+    width = int(hp_costs.shape[1]) if hp_costs.ndim == 2 else 0
+    responses = np.full(lanes, np.nan)
+    iterations = np.zeros(lanes, dtype=np.int64)
+    ok = np.zeros(lanes, dtype=np.uint8)
+    if lanes == 0:
+        return responses, iterations, ok.astype(bool)
+    costs = np.ascontiguousarray(costs, dtype=np.float64)
+    # Pre-inflate the bounds here, with the same numpy ops as the numpy
+    # backend, so the C side never re-derives a float constant.
+    bounds = np.ascontiguousarray(deadlines * (1.0 + 1e-12) + EPS)
+    hp_costs = np.ascontiguousarray(hp_costs, dtype=np.float64)
+    hp_periods = np.ascontiguousarray(hp_periods, dtype=np.float64)
+    rc = lib.repro_rta_bucket(
+        lanes,
+        width,
+        _as_c_double(costs),
+        _as_c_double(bounds),
+        _as_c_double(hp_costs),
+        _as_c_double(hp_periods),
+        EPS,
+        _MAX_ITER,
+        _as_c_double(responses),
+        iterations.ctypes.data_as(ctypes.POINTER(ctypes.c_long)),
+        ok.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+    )
+    if rc != 0:
+        raise RuntimeError("RTA fixed point failed to converge")
+    return responses, iterations, ok.astype(bool)

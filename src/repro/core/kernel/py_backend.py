@@ -1,0 +1,90 @@
+"""Pure-python reference backend for the batched RTA kernel.
+
+One scalar fixed-point iteration per lane, on plain python floats, with
+arithmetic copied operation-for-operation from the scalar path of
+:func:`repro.core.rta.response_time` (serial left-to-right interference
+sums, the same ``EPS`` guards, the same pre-inflated deadline bound).
+This is the semantic reference the vectorized backends are verified
+against, and the graceful-fallback floor when NumPy batching is
+disabled.
+
+Unlike :func:`~repro.core.rta.response_time`, lane runners never touch
+:data:`repro.perf.telemetry.COUNTERS` — the engine bills the
+serial-equivalent totals once per batch, so counter parity holds no
+matter which backend did the work.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._util.floats import EPS
+from repro.core.rta import _MAX_ITER
+
+__all__ = ["run_bucket", "scalar_lane"]
+
+
+def scalar_lane(
+    cost: float,
+    deadline: float,
+    hp_costs: List[float],
+    hp_periods: List[float],
+) -> Tuple[float, int, bool]:
+    """One lane's cold fixed point: ``(response, iterations, ok)``.
+
+    Mirrors the scalar path of :func:`repro.core.rta.response_time` with
+    ``start=None``; the returned response is meaningful only when ``ok``.
+    """
+    r = cost
+    for c in hp_costs:  # standard warm start: one job of each
+        r += c
+    bound = deadline * (1.0 + 1e-12) + EPS
+    iterations = 0
+    for _ in range(_MAX_ITER):
+        if r > bound:
+            return r, iterations, False
+        iterations += 1
+        r_new = cost
+        for c, t in zip(hp_costs, hp_periods):
+            r_new += ceil(r / t - EPS) * c
+        if r_new <= r + EPS:
+            return r_new, iterations, r_new <= bound  # repro-lint: disable=R1 (bound pre-inflated by EPS above)
+        r = r_new
+    raise RuntimeError("RTA fixed point failed to converge")
+
+
+def run_bucket(
+    costs: np.ndarray,
+    deadlines: np.ndarray,
+    hp_costs: np.ndarray,
+    hp_periods: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate one lane bucket serially: ``(responses, iterations, ok)``.
+
+    ``hp_costs``/``hp_periods`` are ``(lanes, H)`` matrices; every lane
+    in a bucket shares the interferer count ``H >= 1``.  Responses are
+    NaN where the lane failed.
+    """
+    lanes = int(costs.shape[0])
+    responses = np.full(lanes, np.nan)
+    iterations = np.zeros(lanes, dtype=np.int64)
+    ok = np.zeros(lanes, dtype=bool)
+    cost_list = costs.tolist()
+    deadline_list = deadlines.tolist()
+    hp_cost_rows = hp_costs.tolist()
+    hp_period_rows = hp_periods.tolist()
+    for k in range(lanes):
+        response, iters, good = scalar_lane(
+            cost_list[k],
+            deadline_list[k],
+            hp_cost_rows[k],
+            hp_period_rows[k],
+        )
+        iterations[k] = iters
+        if good:
+            responses[k] = response
+            ok[k] = True
+    return responses, iterations, ok

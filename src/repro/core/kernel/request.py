@@ -1,0 +1,161 @@
+"""Batched-RTA request/result types.
+
+A :class:`BatchRTARequest` is one *cold* full-processor schedulability
+query: the priority-sorted ``(C, T, Delta)`` arrays of every (sub)task
+sharing a processor (highest priority first — the same order
+:func:`repro.core.rta.rta_arrays` produces).  Each subtask ``i`` expands
+into one *lane*: a fixed-point iteration with the array prefix ``[:i]``
+as its interference set.  Many requests are evaluated together by
+:func:`repro.core.kernel.evaluate_batch`, which runs all lanes of all
+requests in lockstep on the selected backend.
+
+The contract (property-tested in ``tests/core/test_kernel_batch.py``):
+for every request, the verdict, the response-time prefix and the
+serial-equivalent ``rta_calls``/``rta_iterations`` accounting are
+bit-identical to what the incremental serial baseline pays for the same
+cold check — i.e. to :func:`repro.core.rta.is_schedulable` on the same
+subtask list, including its short-circuit at the first failing subtask
+and its up-front necessary utilization condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rta import rta_arrays
+from repro.core.task import Subtask
+
+__all__ = ["BatchRTARequest", "BatchRTAResult", "BatchOutcome"]
+
+
+@dataclass(frozen=True)
+class BatchRTARequest:
+    """One cold processor check: priority-sorted ``(C, T, Delta)`` arrays.
+
+    The arrays must be float64, equal-length, and ordered highest
+    priority first; :meth:`from_subtasks` builds them through the same
+    sort the serial path uses, so kernel results line up element-for-
+    element with :func:`repro.core.rta.response_times`.
+    """
+
+    costs: np.ndarray
+    periods: np.ndarray
+    deadlines: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.costs.shape[0]
+        if self.periods.shape[0] != n or self.deadlines.shape[0] != n:
+            raise ValueError("costs/periods/deadlines must be equal length")
+
+    @property
+    def n(self) -> int:
+        """Number of (sub)tasks — the lane count of this request."""
+        return int(self.costs.shape[0])
+
+    @staticmethod
+    def from_subtasks(subtasks: Sequence[Subtask]) -> "BatchRTARequest":
+        """Build a request from a processor's subtask list.
+
+        Uses :func:`repro.core.rta.rta_arrays`, i.e. exactly the
+        priority sort of the serial admission path.
+        """
+        costs, periods, deadlines, _ = rta_arrays(subtasks)
+        return BatchRTARequest(
+            costs=costs, periods=periods, deadlines=deadlines
+        )
+
+    @staticmethod
+    def from_arrays(
+        costs: Sequence[float],
+        periods: Sequence[float],
+        deadlines: Optional[Sequence[float]] = None,
+    ) -> "BatchRTARequest":
+        """Build a request from plain sequences (deadlines default to
+        the periods, i.e. unsplit implicit-deadline content)."""
+        c = np.asarray(costs, dtype=float)
+        t = np.asarray(periods, dtype=float)
+        d = t.copy() if deadlines is None else np.asarray(deadlines, dtype=float)
+        return BatchRTARequest(costs=c, periods=t, deadlines=d)
+
+
+@dataclass(frozen=True)
+class BatchRTAResult:
+    """Outcome of one request, mirroring the serial path's observables.
+
+    ``first_fail`` uses the :class:`repro.core.rta.RTAContext` sentinel
+    convention: ``-1`` schedulable, ``-2`` the necessary utilization
+    condition failed (no RTA ran), otherwise the index of the first
+    (sub)task whose response exceeded its synthetic deadline.
+
+    ``rta_calls``/``rta_iterations`` are *serial-equivalent*: the totals
+    the serial baseline would have added to
+    :class:`repro.perf.telemetry.PerfCounters` for the same cold check,
+    honoring its short-circuit (lanes past the first failure are not
+    billed even though the batched backends computed them).
+    """
+
+    schedulable: bool
+    first_fail: int
+    rta_calls: int
+    rta_iterations: int
+    responses: Optional[np.ndarray] = None
+
+    @property
+    def failed_lane(self) -> Optional[int]:
+        """Index of the failing lane, or ``None`` when schedulable (or
+        rejected by the utilization precheck before any lane ran)."""
+        return self.first_fail if self.first_fail >= 0 else None
+
+
+@dataclass
+class BatchOutcome:
+    """Columnar outcome of one :func:`evaluate_batch` call.
+
+    One entry per request, in submission order.  ``rta_calls`` and
+    ``rta_iterations`` are the serial-equivalent per-request totals (see
+    :class:`BatchRTAResult`); ``lane_iterations`` is the work the batch
+    actually performed, including lanes past a serial short-circuit
+    point — the honest cost measure of the batched evaluation.
+    """
+
+    verdicts: np.ndarray
+    first_fail: np.ndarray
+    rta_calls: np.ndarray
+    rta_iterations: np.ndarray
+    backend: str
+    lane_count: int
+    lane_iterations: int
+    responses: Optional[List[np.ndarray]] = field(default=None)
+
+    def __len__(self) -> int:
+        return int(self.verdicts.shape[0])
+
+    @property
+    def total_rta_calls(self) -> int:
+        """Serial-equivalent ``rta_calls`` over the whole batch."""
+        return int(self.rta_calls.sum())
+
+    @property
+    def total_rta_iterations(self) -> int:
+        """Serial-equivalent ``rta_iterations`` over the whole batch."""
+        return int(self.rta_iterations.sum())
+
+    def result(self, index: int) -> BatchRTAResult:
+        """Detailed view of one request's outcome."""
+        responses = None
+        if self.responses is not None:
+            responses = self.responses[index]
+        return BatchRTAResult(
+            schedulable=bool(self.verdicts[index]),
+            first_fail=int(self.first_fail[index]),
+            rta_calls=int(self.rta_calls[index]),
+            rta_iterations=int(self.rta_iterations[index]),
+            responses=responses,
+        )
+
+    def results(self) -> List[BatchRTAResult]:
+        """Detailed views of every request, in submission order."""
+        return [self.result(i) for i in range(len(self))]

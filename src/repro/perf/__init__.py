@@ -6,7 +6,14 @@ without cycles.  See ``DESIGN.md`` §5 for the cache-invalidation contract
 and the ``BENCH_sweep.json`` schema.
 """
 
-from repro.perf.config import incremental_rta_enabled, use_incremental_rta
+from repro.perf.config import (
+    incremental_rta_enabled,
+    kernel_backend_name,
+    kernel_batching_enabled,
+    use_incremental_rta,
+    use_kernel_backend,
+    use_kernel_batching,
+)
 from repro.perf.telemetry import COUNTERS, PerfCounters, StageTimes
 
 __all__ = [
@@ -14,5 +21,9 @@ __all__ = [
     "PerfCounters",
     "StageTimes",
     "incremental_rta_enabled",
+    "kernel_backend_name",
+    "kernel_batching_enabled",
     "use_incremental_rta",
+    "use_kernel_backend",
+    "use_kernel_batching",
 ]

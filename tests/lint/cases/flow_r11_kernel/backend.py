@@ -1,0 +1,27 @@
+"""Kernel-backend-style per-process handle cache.
+
+Mirrors the shape of ``repro.core.kernel.native``: a module-global
+handle populated lazily on first use.  Inside a fork-pool worker that
+mutation never reaches the parent — harmless for an idempotent load
+cache, which is why the real module is sanctioned by name in
+``_R11_SANCTIONED_MODULES``, but R11 must flag the pattern anywhere
+else.
+"""
+
+_HANDLES = {}
+
+
+def ensure_loaded():
+    if "lib" not in _HANDLES:
+        _HANDLES["lib"] = object()  # expect: R11
+    return _HANDLES["lib"]
+
+
+def run_bucket(item):
+    lib = ensure_loaded()
+    return (lib is not None, item)
+
+
+def run_bucket_quiet(item):
+    _HANDLES["alt"] = object()  # repro-lint: disable=R11 (per-process handle by design)
+    return item

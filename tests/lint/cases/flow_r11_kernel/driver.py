@@ -1,0 +1,11 @@
+"""Fork-pool drivers dispatching kernel-style bucket workers."""
+
+from flow_r11_kernel.backend import run_bucket, run_bucket_quiet
+
+
+def evaluate(pool, items):
+    return pool.chunked_map(run_bucket, items)
+
+
+def evaluate_quiet(pool, items):
+    return pool.chunked_map(run_bucket_quiet, items)

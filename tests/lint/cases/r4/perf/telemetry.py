@@ -1,6 +1,6 @@
 """R4 fixture: counter declarations with one dead entry."""
 
-_FIELDS = ("requests_total", "dead_counter")  # expect: R4
+_FIELDS = ("requests_total", "krn_batches", "dead_counter")  # expect: R4
 
 
 class PerfCounters:

@@ -1,6 +1,13 @@
-"""R4 fixture: one declared counter touched, one undeclared counter bumped."""
+"""R4 fixture: declared counters touched, undeclared counters bumped."""
 
 
 def tick(COUNTERS):
     COUNTERS.requests_total += 1
     COUNTERS.bogus += 1  # expect: R4
+
+
+def bill_kernel_batch(COUNTERS):
+    # The kernel counter family follows the same contract: billed names
+    # must exist in PerfCounters._FIELDS.
+    COUNTERS.krn_batches += 1
+    COUNTERS.krn_bogus += 1  # expect: R4

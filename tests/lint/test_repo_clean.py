@@ -5,6 +5,7 @@ violation in ``src/repro`` fails the default test run, not just an
 optional CI step.
 """
 
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -14,6 +15,7 @@ from repro.lint import all_rules, lint_paths
 pytestmark = pytest.mark.lint
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+ROOT = SRC.parents[1]
 
 
 def test_source_tree_is_lint_clean():
@@ -21,6 +23,25 @@ def test_source_tree_is_lint_clean():
     assert diagnostics == [], "lint violations in src/repro:\n" + "\n".join(
         d.format() for d in diagnostics
     )
+
+
+def test_no_bytecode_is_tracked_by_git():
+    # A stale committed __pycache__ once shadowed the kernel package; the
+    # CI workflow guards pushes, this guards the local tier-1 run.
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files", "--", "src", "tests"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("not a git checkout")
+    offenders = [
+        p for p in tracked if "__pycache__" in p or p.endswith(".pyc")
+    ]
+    assert offenders == []
 
 
 def test_full_rule_catalog_is_registered():
